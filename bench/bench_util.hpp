@@ -1,0 +1,199 @@
+// Shared helpers for the figure-reproduction benches: CLI parsing and the
+// normalized-FCT table printer used by every dynamic-workload figure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace tcn::bench {
+
+struct Args {
+  std::size_t flows = 2000;
+  std::vector<double> loads = {0.3, 0.5, 0.7, 0.9};
+  std::uint64_t seed = 1;
+
+  static Args parse(int argc, char** argv, const Args& defaults) {
+    Args a = defaults;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (flag == "--flows") {
+        a.flows = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--seed") {
+        a.seed = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--loads") {
+        a.loads.clear();
+        std::string list = next();
+        for (std::size_t pos = 0; pos < list.size();) {
+          const auto comma = list.find(',', pos);
+          const auto token = list.substr(pos, comma - pos);
+          a.loads.push_back(std::strtod(token.c_str(), nullptr));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      } else if (flag == "--help" || flag == "-h") {
+        std::printf("usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n",
+                    argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+struct SchemeRun {
+  std::string name;
+  core::Scheme scheme;
+};
+
+/// Runs `base` for every (scheme x load) and prints the figure's four panels:
+/// overall avg / small avg / small p99 / large avg FCT, normalized to the
+/// first scheme in `schemes` (the paper normalizes to TCN). Also prints TCN's
+/// raw microseconds and the timeout counts that explain the tails.
+inline void run_fct_sweep(const char* title, core::FctExperiment base,
+                          const std::vector<SchemeRun>& schemes,
+                          const Args& args) {
+  base.num_flows = args.flows;
+  base.seed = args.seed;
+
+  std::printf("=== %s ===\n", title);
+  std::printf("flows/run=%zu seed=%llu\n\n", args.flows,
+              static_cast<unsigned long long>(args.seed));
+
+  struct Cell {
+    stats::FctSummary s;
+    std::size_t completed = 0;
+    std::uint64_t drops = 0;
+  };
+  std::vector<std::vector<Cell>> grid(args.loads.size(),
+                                      std::vector<Cell>(schemes.size()));
+
+  for (std::size_t li = 0; li < args.loads.size(); ++li) {
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      core::FctExperiment cfg = base;
+      cfg.scheme = schemes[si].scheme;
+      cfg.load = args.loads[li];
+      const auto report = core::run_fct_experiment(cfg);
+      grid[li][si] = {report.summary, report.flows_completed,
+                      report.switch_drops};
+      std::fprintf(stderr, "  [%s load=%.0f%%] done (%zu/%zu flows)\n",
+                   schemes[si].name.c_str(), args.loads[li] * 100,
+                   report.flows_completed, args.flows);
+    }
+  }
+
+  auto panel = [&](const char* name, auto metric) {
+    std::printf("-- %s (normalized to %s; >1 means worse) --\n", name,
+                schemes[0].name.c_str());
+    std::printf("%6s", "load");
+    for (const auto& s : schemes) std::printf(" %12s", s.name.c_str());
+    std::printf(" %14s\n", (schemes[0].name + " (us)").c_str());
+    for (std::size_t li = 0; li < args.loads.size(); ++li) {
+      std::printf("%5.0f%%", args.loads[li] * 100);
+      const double ref = metric(grid[li][0].s);
+      for (std::size_t si = 0; si < schemes.size(); ++si) {
+        const double v = metric(grid[li][si].s);
+        if (ref > 0) {
+          std::printf(" %12.3f", v / ref);
+        } else {
+          std::printf(" %12s", "-");
+        }
+      }
+      std::printf(" %14.1f\n", ref);
+    }
+    std::printf("\n");
+  };
+
+  panel("overall avg FCT", [](const stats::FctSummary& s) { return s.avg_all_us; });
+  panel("small flows (0,100KB] avg FCT",
+        [](const stats::FctSummary& s) { return s.avg_small_us; });
+  panel("small flows 99th percentile FCT",
+        [](const stats::FctSummary& s) { return s.p99_small_us; });
+  panel("large flows (10MB,inf) avg FCT",
+        [](const stats::FctSummary& s) { return s.avg_large_us; });
+
+  std::printf("-- TCP timeouts of small flows / switch drops --\n");
+  std::printf("%6s", "load");
+  for (const auto& s : schemes) std::printf(" %18s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t li = 0; li < args.loads.size(); ++li) {
+    std::printf("%5.0f%%", args.loads[li] * 100);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu/%llu",
+                    static_cast<unsigned long long>(
+                        grid[li][si].s.small_timeouts),
+                    static_cast<unsigned long long>(grid[li][si].drops));
+      std::printf(" %18s", buf);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Common testbed configuration (Sec. 6.1): 9 servers, 1GbE, base RTT 250us,
+/// 96KB shared buffer per port, DCTCP with RTOmin 10ms. Standard thresholds:
+/// K = 32KB, T = 256us; CoDel tuned to target 51.2us / interval 1024us.
+inline core::FctExperiment testbed_base() {
+  core::FctExperiment cfg;
+  cfg.topology = core::FctExperiment::Topology::kStarConverge;
+  cfg.star.num_hosts = 9;
+  cfg.star.link_rate_bps = 1'000'000'000;
+  cfg.star.buffer_bytes = 96'000;
+  cfg.star.host_delay = topo::star_host_delay_for_rtt(
+      250 * sim::kMicrosecond, cfg.star.link_prop);
+  cfg.params.rtt_lambda = 256 * sim::kMicrosecond;
+  cfg.params.red_threshold_bytes = 32'000;
+  cfg.params.codel_target = static_cast<sim::Time>(51.2 * sim::kMicrosecond);
+  cfg.params.codel_interval = 1024 * sim::kMicrosecond;
+  cfg.tcp.cc = transport::CongestionControl::kDctcp;
+  cfg.tcp.rto_min = 10 * sim::kMillisecond;
+  cfg.tcp.rto_init = 10 * sim::kMillisecond;
+  cfg.tcp.init_cwnd_pkts = 10;
+  cfg.num_services = 4;
+  cfg.service_workloads = {workload::Kind::kWebSearch};
+  cfg.time_limit = 600 * sim::kSecond;
+  return cfg;
+}
+
+/// Common large-scale configuration (Sec. 6.2): 144-host leaf-spine, 10G,
+/// 300KB shared buffer, 8 queues, DCTCP (init window 16, RTOmin 5ms),
+/// K = 65 packets ~= 97.5KB, T = 78us; 7 services cycling the 4 workloads.
+inline core::FctExperiment leafspine_base() {
+  core::FctExperiment cfg;
+  cfg.topology = core::FctExperiment::Topology::kLeafSpine;
+  cfg.leaf_spine = topo::LeafSpineConfig{};  // paper defaults
+  cfg.params.rtt_lambda = 78 * sim::kMicrosecond;
+  cfg.params.red_threshold_bytes = 65 * 1'500;
+  cfg.params.codel_target = static_cast<sim::Time>(17 * sim::kMicrosecond);
+  cfg.params.codel_interval = 341 * sim::kMicrosecond;  // ~4x base RTT
+  cfg.tcp.cc = transport::CongestionControl::kDctcp;
+  cfg.tcp.rto_min = 5 * sim::kMillisecond;
+  cfg.tcp.rto_init = 5 * sim::kMillisecond;
+  cfg.tcp.init_cwnd_pkts = 16;
+  cfg.num_services = 7;
+  cfg.service_workloads = {workload::Kind::kWebSearch,
+                           workload::Kind::kDataMining,
+                           workload::Kind::kHadoop, workload::Kind::kCache};
+  cfg.pias = true;
+  // ns-2 convention: every flow is its own TCP connection.
+  cfg.persistent_connections = false;
+  cfg.time_limit = 600 * sim::kSecond;
+  return cfg;
+}
+
+}  // namespace tcn::bench

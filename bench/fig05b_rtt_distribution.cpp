@@ -1,0 +1,113 @@
+// Figure 5b: RTT distribution of queue 2's traffic under four schemes.
+//
+// Same static SP/WFQ scenario as Fig. 5a in its final phase (all queues
+// busy). Ping probes tagged into the lowest-priority WFQ queue measure
+// base RTT + queueing. Paper shape: TCN ~ ideal RED ~ CoDel (~415us avg),
+// all far below per-queue RED with the standard 32KB threshold (~1084us avg,
+// 1400us p99).
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "stats/percentile.hpp"
+#include "topo/network.hpp"
+#include "transport/flow.hpp"
+#include "transport/ping.hpp"
+
+using namespace tcn;
+
+namespace {
+
+struct Result {
+  double avg_us;
+  double p99_us;
+  std::size_t samples;
+};
+
+Result run(core::Scheme scheme, std::uint64_t seed) {
+  sim::Simulator simulator;
+  core::SchemeParams params;
+  params.rtt_lambda = 256 * sim::kMicrosecond;
+  params.red_threshold_bytes = 32'000;
+  // Oracle thresholds (Eq. 2 with known capacities): queue 0 at 500Mbps ->
+  // 16KB; queues 1,2 at 250Mbps -> 8KB (paper quotes the 8KB).
+  params.oracle_thresholds = {16'000, 8'000, 8'000};
+  params.codel_target = static_cast<sim::Time>(51.2 * sim::kMicrosecond);
+  params.codel_interval = 1024 * sim::kMicrosecond;
+  params.seed = seed;
+
+  core::SchedConfig sched;
+  sched.kind = core::SchedKind::kSpWfq;
+  sched.num_queues = 3;
+  sched.num_sp = 1;
+
+  topo::StarConfig star;
+  star.num_hosts = 4;
+  star.num_queues = 3;
+  star.buffer_bytes = 96'000;
+  star.host_delay =
+      topo::star_host_delay_for_rtt(250 * sim::kMicrosecond, star.link_prop);
+  star.host_rates = {0, 500'000'000, 0, 0};
+  auto network =
+      topo::build_star(simulator, star, core::make_scheduler_factory(sched),
+                       core::make_marker_factory(scheme, params));
+
+  transport::FlowManager fm;
+  auto start = [&](std::size_t host, std::uint8_t q, int n) {
+    for (int i = 0; i < n; ++i) {
+      transport::FlowSpec spec;
+      spec.size = 2'000'000'000ULL;
+      spec.service = q;
+      spec.data_dscp = transport::constant_dscp(q);
+      spec.ack_dscp = q;
+      spec.tcp.max_cwnd_bytes = 64'000;
+      fm.start_flow(network.host(host), network.host(0), spec);
+    }
+  };
+  start(1, 0, 1);  // strict queue, 500Mbps source
+  start(2, 1, 1);  // WFQ queue 1
+  start(3, 2, 4);  // WFQ queue 2: the measured one
+
+  // Ping host 0 -> host 3 and back; probes ride queue 2 on the way out.
+  transport::PingResponder responder(network.host(3), 99);
+  transport::PingApp ping(network.host(0), 3, 99, /*dscp=*/2,
+                          2 * sim::kMillisecond);
+  // Let TCP converge for 200ms before measuring.
+  simulator.schedule_at(200 * sim::kMillisecond, [&] { ping.start(); });
+  simulator.run(2 * sim::kSecond);
+
+  std::vector<double> us;
+  us.reserve(ping.rtts().size());
+  for (const auto r : ping.rtts()) {
+    us.push_back(static_cast<double>(r) / sim::kMicrosecond);
+  }
+  return {stats::mean(us), stats::percentile(us, 99.0), us.size()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, {});
+  std::printf("=== Fig. 5b: RTT of queue-2 traffic, SP/WFQ static scenario "
+              "(base RTT ~250us) ===\n\n");
+  std::printf("%-14s | %10s | %10s | %8s\n", "scheme", "avg (us)", "p99 (us)",
+              "samples");
+  struct Row {
+    const char* name;
+    core::Scheme scheme;
+  };
+  for (const auto& row : {Row{"TCN", core::Scheme::kTcn},
+                          Row{"Ideal-oracle", core::Scheme::kIdealOracle},
+                          Row{"CoDel", core::Scheme::kCodel},
+                          Row{"RED-queue", core::Scheme::kRedPerQueue}}) {
+    const auto r = run(row.scheme, args.seed);
+    std::printf("%-14s | %10.0f | %10.0f | %8zu\n", row.name, r.avg_us,
+                r.p99_us, r.samples);
+  }
+  std::printf("\nExpected shape: TCN ~ ideal ~ CoDel, all roughly 2-3x lower "
+              "than per-queue RED with the\nstandard threshold (paper: 415us "
+              "vs 1084us average).\n");
+  return 0;
+}

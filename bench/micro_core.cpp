@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark): hot-path costs of the simulator and of
+// the AQM decision logic. TCN's marking decision should be the cheapest of
+// all schemes -- a single compare (Sec. 4.2).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aqm/codel.hpp"
+#include "aqm/red_ecn.hpp"
+#include "aqm/tcn.hpp"
+#include "net/fifo_scheduler.hpp"
+#include "net/marker.hpp"
+#include "net/packet.hpp"
+#include "sched/dwrr.hpp"
+#include "sched/wfq.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace tcn;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1024; ++i) {
+      s.schedule_at((i * 7919) % 10'000, [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SelfClockedTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int remaining = 4096;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) s.schedule_in(100, tick);
+    };
+    s.schedule_at(0, tick);
+    s.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SelfClockedTimerChain);
+
+net::MarkContext make_ctx(sim::Time now) {
+  return net::MarkContext{.now = now,
+                          .queue = 0,
+                          .queue_bytes = 20'000,
+                          .port_bytes = 40'000,
+                          .link_rate_bps = 10'000'000'000ULL};
+}
+
+void BM_TcnDecision(benchmark::State& state) {
+  aqm::TcnMarker tcn(100 * sim::kMicrosecond);
+  auto p = net::make_packet();
+  p->size = 1500;
+  sim::Time now = 0;
+  for (auto _ : state) {
+    now += 1'200;
+    p->enqueue_ts = now - (now % 200'000);
+    benchmark::DoNotOptimize(tcn.on_dequeue(make_ctx(now), *p));
+  }
+}
+BENCHMARK(BM_TcnDecision);
+
+void BM_CodelDecision(benchmark::State& state) {
+  aqm::CodelMarker codel(50 * sim::kMicrosecond, 1'000 * sim::kMicrosecond);
+  auto p = net::make_packet();
+  p->size = 1500;
+  sim::Time now = 0;
+  for (auto _ : state) {
+    now += 1'200;
+    p->enqueue_ts = now - (now % 200'000);
+    benchmark::DoNotOptimize(codel.on_dequeue(make_ctx(now), *p));
+  }
+}
+BENCHMARK(BM_CodelDecision);
+
+void BM_RedDecision(benchmark::State& state) {
+  aqm::RedEcnMarker red(30'000, aqm::RedScope::kPerQueue);
+  auto p = net::make_packet();
+  p->size = 1500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(red.on_enqueue(make_ctx(0), *p));
+  }
+}
+BENCHMARK(BM_RedDecision);
+
+template <typename MakeSched>
+void run_sched_bench(benchmark::State& state, MakeSched make) {
+  // One port, 8 queues, continuous backlog: measures enqueue+select+dequeue.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator s;
+    std::vector<net::PacketQueue> queues(8);
+    auto sched = make();
+    sched->bind(&queues, 10'000'000'000ULL);
+    state.ResumeTiming();
+    for (int round = 0; round < 64; ++round) {
+      for (std::size_t q = 0; q < 8; ++q) {
+        auto p = net::make_packet();
+        p->size = 1500;
+        net::Packet& ref = *p;
+        queues[q].push(std::move(p));
+        sched->on_enqueue(q, ref, round * 10'000);
+      }
+    }
+    for (int i = 0; i < 64 * 8; ++i) {
+      const auto q = sched->select(i * 1'200);
+      auto p = queues[q].pop();
+      sched->on_dequeue(q, *p, i * 1'200);
+      benchmark::DoNotOptimize(p->uid);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 8);
+}
+
+void BM_DwrrDequeue(benchmark::State& state) {
+  run_sched_bench(state, [] {
+    return std::make_unique<sched::DwrrScheduler>(
+        std::vector<std::uint64_t>(8, 1500));
+  });
+}
+BENCHMARK(BM_DwrrDequeue);
+
+void BM_WfqDequeue(benchmark::State& state) {
+  run_sched_bench(state, [] {
+    return std::make_unique<sched::WfqScheduler>(std::vector<double>(8, 1.0));
+  });
+}
+BENCHMARK(BM_WfqDequeue);
+
+}  // namespace

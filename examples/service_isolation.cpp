@@ -1,0 +1,53 @@
+// Service isolation demo (the Sec. 6.1.2 scenario, reduced): 8 servers feed
+// one client through a 1G switch running DWRR over 4 service queues with the
+// web search workload at 70% load. Compares TCN against per-queue RED with
+// the standard threshold using the high-level experiment API.
+//
+// Run: ./build/examples/service_isolation [load] [flows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "topo/network.hpp"
+
+using namespace tcn;
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.7;
+  const std::size_t flows = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500;
+
+  core::FctExperiment cfg;
+  cfg.topology = core::FctExperiment::Topology::kStarConverge;
+  cfg.star.num_hosts = 9;
+  cfg.star.buffer_bytes = 96'000;
+  cfg.star.host_delay = topo::star_host_delay_for_rtt(250 * sim::kMicrosecond,
+                                                      cfg.star.link_prop);
+  cfg.sched.kind = core::SchedKind::kDwrr;
+  cfg.num_services = 4;
+  cfg.service_workloads = {workload::Kind::kWebSearch};
+  cfg.load = load;
+  cfg.num_flows = flows;
+  cfg.params.rtt_lambda = 256 * sim::kMicrosecond;  // T for TCN
+  cfg.params.red_threshold_bytes = 32'000;          // K for RED
+  cfg.tcp.rto_min = 10 * sim::kMillisecond;
+  cfg.tcp.rto_init = 10 * sim::kMillisecond;
+
+  std::printf("Service isolation: DWRR x4, web search, load %.0f%%, %zu "
+              "flows\n\n", load * 100, flows);
+  std::printf("%-22s %12s %12s %12s %12s %10s\n", "scheme", "avg all us",
+              "avg small us", "p99 small us", "avg large us", "drops");
+  for (const auto scheme :
+       {core::Scheme::kTcn, core::Scheme::kRedPerQueue}) {
+    cfg.scheme = scheme;
+    const auto r = core::run_fct_experiment(cfg);
+    std::printf("%-22s %12.1f %12.1f %12.1f %12.1f %10llu\n",
+                core::scheme_name(scheme).c_str(), r.summary.avg_all_us,
+                r.summary.avg_small_us, r.summary.p99_small_us,
+                r.summary.avg_large_us,
+                static_cast<unsigned long long>(r.switch_drops));
+  }
+  std::printf("\nTCN keeps per-queue delay bounded regardless of how many "
+              "queues are busy, so small flows\nsee lower latency and fewer "
+              "drops than RED with the static full-rate threshold.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "aqm/mq_ecn.hpp"
+
+#include <stdexcept>
+
+namespace tcn::aqm {
+
+MqEcnMarker::MqEcnMarker(const net::RoundRateProvider* provider,
+                         sim::Time rtt_lambda)
+    : provider_(provider), rtt_lambda_(rtt_lambda) {
+  if (provider_ == nullptr) {
+    throw std::invalid_argument("MqEcnMarker: provider required");
+  }
+  if (rtt_lambda_ <= 0) {
+    throw std::invalid_argument("MqEcnMarker: rtt_lambda must be > 0");
+  }
+}
+
+std::uint64_t MqEcnMarker::threshold_bytes(std::size_t q, sim::Time now) const {
+  const double rate_bps = provider_->queue_rate_bps(q, now);
+  // K_i = rate_i x RTT x lambda (Eq. 2 with the round-time rate estimate).
+  return static_cast<std::uint64_t>(rate_bps / 8.0 *
+                                    sim::to_seconds(rtt_lambda_));
+}
+
+bool MqEcnMarker::on_enqueue(const net::MarkContext& ctx, const net::Packet&) {
+  return ctx.queue_bytes > threshold_bytes(ctx.queue, ctx.now);
+}
+
+}  // namespace tcn::aqm

@@ -1,0 +1,71 @@
+#include "aqm/pie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcn::aqm {
+
+PieMarker::PieMarker(std::size_t num_queues, PieConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  if (num_queues == 0) {
+    throw std::invalid_argument("PieMarker: need at least one queue");
+  }
+  if (cfg_.target <= 0 || cfg_.t_update <= 0) {
+    throw std::invalid_argument("PieMarker: target/t_update must be > 0");
+  }
+  states_.reserve(num_queues);
+  for (std::size_t i = 0; i < num_queues; ++i) states_.emplace_back(cfg_);
+}
+
+void PieMarker::maybe_update(QState& s, const net::MarkContext& ctx) {
+  if (ctx.now < s.next_update) return;
+  // Catch up on control periods that elapsed while the queue was idle (the
+  // marker has no timer; updates are driven lazily by traffic). Each missed
+  // period is applied with the then-current delay so p decays just as the
+  // reference implementation's timer would make it.
+  const auto missed = static_cast<std::uint64_t>(
+      (ctx.now - s.next_update) / cfg_.t_update);
+  const int rounds = 1 + static_cast<int>(std::min<std::uint64_t>(missed, 64));
+  s.next_update = ctx.now + cfg_.t_update;
+
+  // Delay estimate: backlog over the measured drain rate (fall back to the
+  // line rate before the first sample, as Sec. 3.3's ideal RED does).
+  const double rate_Bps = s.estimator.has_estimate()
+                              ? s.estimator.avg_rate_Bps()
+                              : static_cast<double>(ctx.link_rate_bps) / 8.0;
+  s.qdelay = rate_Bps > 0
+                 ? sim::from_seconds(static_cast<double>(ctx.queue_bytes) /
+                                     rate_Bps)
+                 : 0;
+
+  for (int i = 0; i < rounds; ++i) {
+    const double err_target =
+        sim::to_seconds(s.qdelay - cfg_.target) / sim::to_seconds(cfg_.target);
+    const double err_trend = sim::to_seconds(s.qdelay - s.qdelay_old) /
+                             sim::to_seconds(cfg_.target);
+    s.p += cfg_.alpha * err_target + cfg_.beta * err_trend;
+    s.p = std::clamp(s.p, 0.0, 1.0);
+    s.qdelay_old = s.qdelay;
+  }
+}
+
+bool PieMarker::on_enqueue(const net::MarkContext& ctx, const net::Packet&) {
+  QState& s = states_.at(ctx.queue);
+  maybe_update(s, ctx);
+  // Burst allowance (reference PIE): short bursts below half the target with
+  // a small p are let through unmarked, as are near-empty queues.
+  if (s.p < 0.2 && s.qdelay < cfg_.target / 2) return false;
+  if (ctx.queue_bytes <= 3'000) return false;
+  if (s.p <= 0.0) return false;
+  if (s.p >= 1.0) return true;
+  return rng_.bernoulli(s.p);
+}
+
+bool PieMarker::on_dequeue(const net::MarkContext& ctx, const net::Packet& p) {
+  QState& s = states_.at(ctx.queue);
+  s.estimator.on_departure(ctx.now, p.size, ctx.queue_bytes);
+  maybe_update(s, ctx);
+  return false;  // PIE marks at enqueue
+}
+
+}  // namespace tcn::aqm

@@ -1,0 +1,76 @@
+#include "aqm/rate_estimator.hpp"
+
+#include <stdexcept>
+
+namespace tcn::aqm {
+
+DepartureRateEstimator::DepartureRateEstimator(std::uint64_t dq_thresh_bytes,
+                                               double w)
+    : dq_thresh_(dq_thresh_bytes), w_(w) {
+  if (dq_thresh_ == 0) {
+    throw std::invalid_argument("DepartureRateEstimator: zero dq_thresh");
+  }
+  if (w_ < 0.0 || w_ >= 1.0) {
+    throw std::invalid_argument("DepartureRateEstimator: w out of [0,1)");
+  }
+}
+
+bool DepartureRateEstimator::on_departure(sim::Time now, std::uint32_t bytes,
+                                          std::uint64_t qlen_bytes) {
+  // Step 1 (Algorithm 1): start a cycle only with dq_thresh of backlog, so
+  // the queue is provably busy for the whole cycle. The triggering packet is
+  // not counted -- its serialization happened before the window opened.
+  if (!is_measure_) {
+    if (qlen_bytes >= dq_thresh_) {
+      is_measure_ = true;
+      dq_count_ = 0;
+      dq_start_ = now;
+    }
+    return false;
+  }
+
+  // Step 2: accumulate departures; close the cycle at dq_thresh bytes.
+  dq_count_ += bytes;
+  if (dq_count_ < dq_thresh_ || now <= dq_start_) return false;
+
+  dq_rate_ = static_cast<double>(dq_count_) / sim::to_seconds(now - dq_start_);
+  avg_rate_ = avg_rate_ > 0.0 ? w_ * avg_rate_ + (1.0 - w_) * dq_rate_
+                              : dq_rate_;
+  is_measure_ = false;
+  return true;
+}
+
+IdealRedMarker::IdealRedMarker(std::size_t num_queues,
+                               std::uint64_t dq_thresh_bytes,
+                               sim::Time rtt_lambda, double w)
+    : estimators_(num_queues, DepartureRateEstimator(dq_thresh_bytes, w)),
+      rtt_lambda_(rtt_lambda) {
+  if (rtt_lambda_ <= 0) {
+    throw std::invalid_argument("IdealRedMarker: rtt_lambda must be > 0");
+  }
+}
+
+std::uint64_t IdealRedMarker::threshold_bytes(
+    std::size_t q, std::uint64_t link_rate_bps) const {
+  const auto& est = estimators_.at(q);
+  const double rate_Bps = est.has_estimate()
+                              ? est.avg_rate_Bps()
+                              : static_cast<double>(link_rate_bps) / 8.0;
+  return static_cast<std::uint64_t>(rate_Bps * sim::to_seconds(rtt_lambda_));
+}
+
+bool IdealRedMarker::on_enqueue(const net::MarkContext& ctx,
+                                const net::Packet&) {
+  return ctx.queue_bytes > threshold_bytes(ctx.queue, ctx.link_rate_bps);
+}
+
+bool IdealRedMarker::on_dequeue(const net::MarkContext& ctx,
+                                const net::Packet& p) {
+  auto& est = estimators_.at(ctx.queue);
+  if (est.on_departure(ctx.now, p.size, ctx.queue_bytes) && observer_) {
+    observer_(ctx.queue, ctx.now, est.sample_rate_Bps(), est.avg_rate_Bps());
+  }
+  return false;  // ideal RED marks at enqueue only
+}
+
+}  // namespace tcn::aqm

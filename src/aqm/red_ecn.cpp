@@ -1,0 +1,47 @@
+#include "aqm/red_ecn.hpp"
+
+#include <stdexcept>
+
+namespace tcn::aqm {
+
+RedEcnMarker::RedEcnMarker(std::uint64_t threshold_bytes, RedScope scope,
+                           RedSide side)
+    : thresholds_{threshold_bytes}, scope_(scope), side_(side) {
+  if (threshold_bytes == 0) {
+    throw std::invalid_argument("RedEcnMarker: zero threshold");
+  }
+}
+
+RedEcnMarker::RedEcnMarker(std::vector<std::uint64_t> per_queue_thresholds,
+                           RedSide side)
+    : thresholds_(std::move(per_queue_thresholds)),
+      scope_(RedScope::kPerQueue),
+      side_(side) {
+  if (thresholds_.empty()) {
+    throw std::invalid_argument("RedEcnMarker: no thresholds");
+  }
+}
+
+bool RedEcnMarker::over_threshold(const net::MarkContext& ctx) const {
+  const std::uint64_t k = thresholds_.size() == 1
+                              ? thresholds_[0]
+                              : thresholds_.at(ctx.queue);
+  const std::uint64_t occupancy =
+      scope_ == RedScope::kPerPort ? ctx.port_bytes : ctx.queue_bytes;
+  return occupancy > k;
+}
+
+bool RedEcnMarker::on_enqueue(const net::MarkContext& ctx, const net::Packet&) {
+  return side_ == RedSide::kEnqueue && over_threshold(ctx);
+}
+
+bool RedEcnMarker::on_dequeue(const net::MarkContext& ctx, const net::Packet&) {
+  return side_ == RedSide::kDequeue && over_threshold(ctx);
+}
+
+std::string_view RedEcnMarker::name() const {
+  if (scope_ == RedScope::kPerPort) return "red-perport";
+  return side_ == RedSide::kEnqueue ? "red-perqueue" : "red-dequeue";
+}
+
+}  // namespace tcn::aqm

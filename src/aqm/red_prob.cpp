@@ -1,0 +1,37 @@
+#include "aqm/red_prob.hpp"
+
+#include <stdexcept>
+
+namespace tcn::aqm {
+
+RedProbabilisticMarker::RedProbabilisticMarker(std::uint64_t k_min_bytes,
+                                               std::uint64_t k_max_bytes,
+                                               double p_max,
+                                               std::uint64_t seed)
+    : k_min_(k_min_bytes), k_max_(k_max_bytes), p_max_(p_max), rng_(seed) {
+  if (k_max_ < k_min_) {
+    throw std::invalid_argument("RedProbabilisticMarker: k_max < k_min");
+  }
+  if (p_max_ <= 0.0 || p_max_ > 1.0) {
+    throw std::invalid_argument("RedProbabilisticMarker: bad p_max");
+  }
+}
+
+double RedProbabilisticMarker::probability(std::uint64_t queue_bytes) const {
+  if (queue_bytes < k_min_) return 0.0;
+  if (queue_bytes > k_max_) return 1.0;
+  if (k_max_ == k_min_) return 1.0;
+  const double f = static_cast<double>(queue_bytes - k_min_) /
+                   static_cast<double>(k_max_ - k_min_);
+  return f * p_max_;
+}
+
+bool RedProbabilisticMarker::on_enqueue(const net::MarkContext& ctx,
+                                        const net::Packet&) {
+  const double p = probability(ctx.queue_bytes);
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  return rng_.bernoulli(p);
+}
+
+}  // namespace tcn::aqm

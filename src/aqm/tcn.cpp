@@ -1,0 +1,48 @@
+#include "aqm/tcn.hpp"
+
+#include <stdexcept>
+
+namespace tcn::aqm {
+
+TcnMarker::TcnMarker(sim::Time threshold) : threshold_(threshold) {
+  if (threshold <= 0) {
+    throw std::invalid_argument("TcnMarker: threshold must be positive");
+  }
+}
+
+bool TcnMarker::on_dequeue(const net::MarkContext& ctx, const net::Packet& p) {
+  // The per-hop enqueue timestamp is the 2B metadata of Sec. 4.2; the
+  // comparison below is the entire data-plane logic of TCN.
+  return ctx.now - p.enqueue_ts > threshold_;
+}
+
+TcnProbabilisticMarker::TcnProbabilisticMarker(sim::Time t_min, sim::Time t_max,
+                                               double p_max, std::uint64_t seed)
+    : t_min_(t_min), t_max_(t_max), p_max_(p_max), rng_(seed) {
+  if (t_min < 0 || t_max < t_min) {
+    throw std::invalid_argument("TcnProbabilisticMarker: bad thresholds");
+  }
+  if (p_max <= 0.0 || p_max > 1.0) {
+    throw std::invalid_argument("TcnProbabilisticMarker: bad p_max");
+  }
+}
+
+double TcnProbabilisticMarker::probability(sim::Time sojourn) const {
+  if (sojourn < t_min_) return 0.0;
+  if (sojourn > t_max_) return 1.0;
+  if (t_max_ == t_min_) return 1.0;
+  const double f = static_cast<double>(sojourn - t_min_) /
+                   static_cast<double>(t_max_ - t_min_);
+  return f * p_max_;
+}
+
+bool TcnProbabilisticMarker::on_dequeue(const net::MarkContext& ctx,
+                                        const net::Packet& p) {
+  const sim::Time sojourn = ctx.now - p.enqueue_ts;
+  const double prob = probability(sojourn);
+  if (prob >= 1.0) return true;
+  if (prob <= 0.0) return false;
+  return rng_.bernoulli(prob);
+}
+
+}  // namespace tcn::aqm

@@ -1,0 +1,287 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "topo/network.hpp"
+
+namespace tcn::core {
+namespace {
+
+std::uint64_t to_u64(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const auto n = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": expected an integer, got '" + v +
+                                "'");
+  }
+}
+
+double to_double(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return d;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": expected a number, got '" + v +
+                                "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& list) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream in(list);
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "tcn") return Scheme::kTcn;
+  if (name == "tcn-prob") return Scheme::kTcnProb;
+  if (name == "codel") return Scheme::kCodel;
+  if (name == "mq-ecn") return Scheme::kMqEcn;
+  if (name == "red") return Scheme::kRedPerQueue;
+  if (name == "red-port") return Scheme::kRedPerPort;
+  if (name == "red-dequeue") return Scheme::kRedDequeue;
+  if (name == "pie") return Scheme::kPie;
+  if (name == "ideal-rate") return Scheme::kIdealRate;
+  if (name == "none") return Scheme::kNone;
+  throw std::invalid_argument(
+      "unknown scheme '" + name +
+      "' (tcn, tcn-prob, codel, mq-ecn, red, red-port, red-dequeue, pie, "
+      "ideal-rate, none)");
+}
+
+SchedKind parse_sched(const std::string& name) {
+  if (name == "fifo") return SchedKind::kFifo;
+  if (name == "sp") return SchedKind::kSp;
+  if (name == "dwrr") return SchedKind::kDwrr;
+  if (name == "wrr") return SchedKind::kWrr;
+  if (name == "wfq") return SchedKind::kWfq;
+  if (name == "sp-dwrr") return SchedKind::kSpDwrr;
+  if (name == "sp-wfq") return SchedKind::kSpWfq;
+  if (name == "pifo") return SchedKind::kPifoStfq;
+  throw std::invalid_argument(
+      "unknown scheduler '" + name +
+      "' (fifo, sp, dwrr, wrr, wfq, sp-dwrr, sp-wfq, pifo)");
+}
+
+workload::Kind parse_workload(const std::string& name) {
+  if (name == "websearch") return workload::Kind::kWebSearch;
+  if (name == "datamining") return workload::Kind::kDataMining;
+  if (name == "hadoop") return workload::Kind::kHadoop;
+  if (name == "cache") return workload::Kind::kCache;
+  throw std::invalid_argument(
+      "unknown workload '" + name +
+      "' (websearch, datamining, hadoop, cache)");
+}
+
+std::string cli_usage() {
+  return R"(tcnsim -- run a TCN paper experiment from the command line
+
+usage: tcnsim [flags]
+
+topology:
+  --topology star|leafspine   (default star: the 9-host 1G testbed;
+                               leafspine: 144 hosts, 12x12, 10G)
+  --hosts N                   star host count (default 9)
+scheme / scheduler:
+  --scheme tcn|tcn-prob|codel|mq-ecn|red|red-port|red-dequeue|pie|ideal-rate|none
+  --sched fifo|sp|dwrr|wrr|wfq|sp-dwrr|sp-wfq|pifo
+  --rtt-lambda-us T           TCN threshold / dynamic-threshold time (default:
+                              256 star, 78 leafspine)
+  --red-k-bytes K             static RED threshold (default: 32000 / 97500)
+traffic:
+  --load F                    offered load fraction (default 0.7)
+  --flows N                   flows to generate (default 1000)
+  --services N                service count (default 4 star / 7 leafspine)
+  --workload a,b,...          size distributions, cycled over services
+                              (default websearch; leafspine default: all 4)
+  --pias                      PIAS two-priority tagging (adds an SP queue)
+  --per-flow-connections      cold connection per flow (default for leafspine)
+  --persistent-connections    warm connection pool (default for star)
+transport:
+  --transport dctcp|ecnstar   (default dctcp)
+  --sack --delayed-ack        TCP options
+  --rto-min-us T              (default 10000 star / 5000 leafspine)
+misc:
+  --seed S                    RNG seed (default 1)
+  --help
+)";
+}
+
+FctExperiment parse_cli(const std::vector<std::string>& args) {
+  FctExperiment cfg;
+  // Star testbed defaults; overridden below if leafspine is selected.
+  bool is_leafspine = false;
+  bool rtt_lambda_set = false, red_k_set = false, rto_set = false;
+  bool services_set = false, workloads_set = false, conn_set = false;
+
+  cfg.sched.kind = SchedKind::kDwrr;
+  cfg.load = 0.7;
+  cfg.num_flows = 1000;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(flag + ": missing value");
+      }
+      return args[++i];
+    };
+    if (flag == "--topology") {
+      const auto& v = value();
+      if (v == "star") {
+        is_leafspine = false;
+      } else if (v == "leafspine") {
+        is_leafspine = true;
+      } else {
+        throw std::invalid_argument("--topology: star or leafspine");
+      }
+    } else if (flag == "--hosts") {
+      cfg.star.num_hosts = to_u64(flag, value());
+    } else if (flag == "--scheme") {
+      cfg.scheme = parse_scheme(value());
+    } else if (flag == "--sched") {
+      cfg.sched.kind = parse_sched(value());
+    } else if (flag == "--rtt-lambda-us") {
+      cfg.params.rtt_lambda =
+          static_cast<sim::Time>(to_double(flag, value()) * sim::kMicrosecond);
+      rtt_lambda_set = true;
+    } else if (flag == "--red-k-bytes") {
+      cfg.params.red_threshold_bytes = to_u64(flag, value());
+      red_k_set = true;
+    } else if (flag == "--load") {
+      cfg.load = to_double(flag, value());
+    } else if (flag == "--flows") {
+      cfg.num_flows = to_u64(flag, value());
+    } else if (flag == "--services") {
+      cfg.num_services = static_cast<std::uint32_t>(to_u64(flag, value()));
+      services_set = true;
+    } else if (flag == "--workload") {
+      cfg.service_workloads.clear();
+      for (const auto& w : split(value())) {
+        cfg.service_workloads.push_back(parse_workload(w));
+      }
+      if (cfg.service_workloads.empty()) {
+        throw std::invalid_argument("--workload: empty list");
+      }
+      workloads_set = true;
+    } else if (flag == "--pias") {
+      cfg.pias = true;
+    } else if (flag == "--per-flow-connections") {
+      cfg.persistent_connections = false;
+      conn_set = true;
+    } else if (flag == "--persistent-connections") {
+      cfg.persistent_connections = true;
+      conn_set = true;
+    } else if (flag == "--transport") {
+      const auto& v = value();
+      if (v == "dctcp") {
+        cfg.tcp.cc = transport::CongestionControl::kDctcp;
+      } else if (v == "ecnstar") {
+        cfg.tcp.cc = transport::CongestionControl::kEcnStar;
+      } else {
+        throw std::invalid_argument("--transport: dctcp or ecnstar");
+      }
+    } else if (flag == "--sack") {
+      cfg.tcp.sack = true;
+    } else if (flag == "--delayed-ack") {
+      cfg.tcp.delayed_ack = true;
+    } else if (flag == "--rto-min-us") {
+      cfg.tcp.rto_min =
+          static_cast<sim::Time>(to_double(flag, value()) * sim::kMicrosecond);
+      cfg.tcp.rto_init = cfg.tcp.rto_min;
+      rto_set = true;
+    } else if (flag == "--seed") {
+      cfg.seed = to_u64(flag, value());
+    } else {
+      throw std::invalid_argument("unknown flag '" + flag +
+                                  "' (see --help)");
+    }
+  }
+
+  // Topology-derived defaults (the paper's configurations).
+  if (is_leafspine) {
+    cfg.topology = FctExperiment::Topology::kLeafSpine;
+    if (!rtt_lambda_set) cfg.params.rtt_lambda = 78 * sim::kMicrosecond;
+    if (!red_k_set) cfg.params.red_threshold_bytes = 65 * 1'500;
+    if (!rto_set) {
+      cfg.tcp.rto_min = 5 * sim::kMillisecond;
+      cfg.tcp.rto_init = 5 * sim::kMillisecond;
+    }
+    cfg.tcp.init_cwnd_pkts = 16;
+    if (!services_set) cfg.num_services = 7;
+    if (!workloads_set) {
+      cfg.service_workloads = {
+          workload::Kind::kWebSearch, workload::Kind::kDataMining,
+          workload::Kind::kHadoop, workload::Kind::kCache};
+    }
+    if (!conn_set) cfg.persistent_connections = false;
+  } else {
+    cfg.topology = FctExperiment::Topology::kStarConverge;
+    cfg.star.host_delay = topo::star_host_delay_for_rtt(
+        250 * sim::kMicrosecond, cfg.star.link_prop);
+    if (!rtt_lambda_set) cfg.params.rtt_lambda = 256 * sim::kMicrosecond;
+    if (!red_k_set) cfg.params.red_threshold_bytes = 32'000;
+    if (!rto_set) {
+      cfg.tcp.rto_min = 10 * sim::kMillisecond;
+      cfg.tcp.rto_init = 10 * sim::kMillisecond;
+    }
+    if (!services_set) cfg.num_services = 4;
+    if (!workloads_set) {
+      cfg.service_workloads = {workload::Kind::kWebSearch};
+    }
+  }
+  // CoDel tuning scaled off the base RTT (the testbed recipe: target ~RTT/5,
+  // interval ~4x RTT).
+  cfg.params.codel_target = cfg.params.rtt_lambda / 5;
+  cfg.params.codel_interval = 4 * cfg.params.rtt_lambda;
+  // Probabilistic TCN default band around T.
+  cfg.params.tcn_tmin = cfg.params.rtt_lambda / 2;
+  cfg.params.tcn_tmax = 3 * cfg.params.rtt_lambda / 2;
+  cfg.params.tcn_pmax = 1.0;
+  cfg.params.seed = cfg.seed;
+  cfg.time_limit = 600 * sim::kSecond;
+  if (cfg.pias &&
+      (cfg.sched.kind == SchedKind::kDwrr ||
+       cfg.sched.kind == SchedKind::kWfq)) {
+    // PIAS needs a strict queue: upgrade to the hybrid automatically.
+    cfg.sched.kind = cfg.sched.kind == SchedKind::kDwrr ? SchedKind::kSpDwrr
+                                                        : SchedKind::kSpWfq;
+    cfg.sched.num_sp = 1;
+  }
+  return cfg;
+}
+
+std::string format_report(const FctExperiment& cfg, const FctReport& r) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "scheme=%s sched=%s load=%.0f%% flows=%zu/%zu\n"
+      "  avg FCT (all)      : %.1f us\n"
+      "  avg FCT (<=100KB)  : %.1f us   p99: %.1f us\n"
+      "  avg FCT (>10MB)    : %.1f us\n"
+      "  small-flow timeouts: %llu   switch drops: %llu   marks: %llu\n"
+      "  events: %llu   sim time: %.3f s\n",
+      scheme_name(cfg.scheme).c_str(), sched_name(cfg.sched.kind).c_str(),
+      cfg.load * 100, r.flows_completed, r.flows_started, r.summary.avg_all_us,
+      r.summary.avg_small_us, r.summary.p99_small_us, r.summary.avg_large_us,
+      static_cast<unsigned long long>(r.summary.small_timeouts),
+      static_cast<unsigned long long>(r.switch_drops),
+      static_cast<unsigned long long>(r.switch_marks),
+      static_cast<unsigned long long>(r.events), sim::to_seconds(r.sim_end));
+  return buf;
+}
+
+}  // namespace tcn::core

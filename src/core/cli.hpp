@@ -1,0 +1,28 @@
+// Command-line front end for the experiment harness: turns flags into an
+// FctExperiment so users can run any paper scenario without writing C++
+// (the `tcnsim` tool). The parser lives in the library so it is unit-tested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace tcn::core {
+
+/// Parse `args` (argv[1..]) into an experiment configuration.
+/// Throws std::invalid_argument with a helpful message on bad input.
+FctExperiment parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string cli_usage();
+
+/// Parse helpers exposed for reuse/testing.
+Scheme parse_scheme(const std::string& name);
+SchedKind parse_sched(const std::string& name);
+workload::Kind parse_workload(const std::string& name);
+
+/// Render a report the way the tool prints it.
+std::string format_report(const FctExperiment& cfg, const FctReport& report);
+
+}  // namespace tcn::core

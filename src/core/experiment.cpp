@@ -1,0 +1,155 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "net/switch.hpp"
+#include "pias/pias.hpp"
+#include "sim/simulator.hpp"
+#include "topo/network.hpp"
+#include "transport/connection_pool.hpp"
+#include "transport/flow.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace tcn::core {
+namespace {
+
+bool is_hybrid(SchedKind k) {
+  return k == SchedKind::kSpDwrr || k == SchedKind::kSpWfq;
+}
+
+}  // namespace
+
+FctReport run_fct_experiment(const FctExperiment& cfg) {
+  if (cfg.num_services == 0 || cfg.service_workloads.empty()) {
+    throw std::invalid_argument("FctExperiment: services misconfigured");
+  }
+
+  const std::size_t num_sp = is_hybrid(cfg.sched.kind) ? cfg.sched.num_sp : 0;
+  const std::size_t num_service_queues =
+      cfg.num_service_queues > 0 ? cfg.num_service_queues : cfg.num_services;
+
+  SchedConfig sched = cfg.sched;
+  sched.num_queues = num_sp + num_service_queues;
+
+  sim::Simulator sim;
+  const auto sched_factory = make_scheduler_factory(sched);
+  const auto marker_factory = make_marker_factory(cfg.scheme, cfg.params);
+
+  topo::Network network = [&] {
+    if (cfg.topology == FctExperiment::Topology::kStarConverge) {
+      topo::StarConfig star = cfg.star;
+      star.num_queues = sched.num_queues;
+      return topo::build_star(sim, star, sched_factory, marker_factory);
+    }
+    topo::LeafSpineConfig ls = cfg.leaf_spine;
+    ls.num_queues = sched.num_queues;
+    return topo::build_leaf_spine(sim, ls, sched_factory, marker_factory);
+  }();
+
+  stats::FctCollector fct;
+  std::size_t flows_completed = 0;
+  const auto on_flow_done = [&](const transport::FlowResult& r) {
+    fct.add(r);
+    ++flows_completed;
+  };
+  transport::FlowManager fm(on_flow_done);
+  transport::ConnectionPool pool(on_flow_done);
+  const workload::FlowLauncher launcher =
+      cfg.persistent_connections
+          ? workload::FlowLauncher([&pool](net::Host& src, net::Host& dst,
+                                           transport::FlowSpec spec) {
+              pool.submit(src, dst, std::move(spec));
+            })
+          : workload::FlowLauncher([&fm](net::Host& src, net::Host& dst,
+                                         transport::FlowSpec spec) {
+              fm.start_flow(src, dst, std::move(spec));
+            });
+
+  // DSCP plan: strict-priority queues occupy dscp [0, num_sp); services map
+  // to dscp num_sp + queue. With PIAS, the head of every flow is tagged into
+  // the shared high-priority queue 0 and ACKs ride the high queue too (small
+  // control packets are prioritized, Sec. 2.2).
+  sim::Rng queue_rng(cfg.seed ^ 0x517cc1b727220a95ULL);
+  auto spec_fn = [&](std::uint32_t service,
+                     std::uint64_t size) -> transport::FlowSpec {
+    transport::FlowSpec spec;
+    spec.size = size;
+    spec.service = service;
+    spec.tcp = cfg.tcp;
+    const std::uint8_t service_dscp = static_cast<std::uint8_t>(
+        num_sp + (num_service_queues == cfg.num_services
+                      ? service % num_service_queues
+                      : queue_rng.uniform_int(0, num_service_queues - 1)));
+    if (cfg.pias) {
+      spec.data_dscp =
+          pias::two_priority(0, service_dscp, cfg.pias_threshold);
+      spec.ack_dscp = 0;
+    } else {
+      spec.data_dscp = transport::constant_dscp(service_dscp);
+      spec.ack_dscp = service_dscp;
+    }
+    return spec;
+  };
+
+  workload::GenConfig gen_cfg;
+  gen_cfg.load = cfg.load;
+  gen_cfg.num_flows = cfg.num_flows;
+  gen_cfg.num_services = cfg.num_services;
+  gen_cfg.seed = cfg.seed;
+
+  std::unique_ptr<workload::ConvergeGenerator> converge;
+  std::unique_ptr<workload::AllToAllGenerator> all2all;
+
+  if (cfg.topology == FctExperiment::Topology::kStarConverge) {
+    // Host 0 is the client (receiver); all others serve data to it, and the
+    // generator picks the flow's service uniformly (Sec. 6.1.2). The size
+    // distribution is the first configured workload (testbed experiments use
+    // web search only).
+    std::vector<net::Host*> senders;
+    for (std::size_t i = 1; i < network.num_hosts(); ++i) {
+      senders.push_back(&network.host(i));
+    }
+    converge = std::make_unique<workload::ConvergeGenerator>(
+        sim, launcher, std::move(senders), &network.host(0),
+        &workload::distribution(cfg.service_workloads[0]), gen_cfg, spec_fn);
+    converge->start();
+  } else {
+    // 144x143 pairs evenly partitioned into services; service s draws sizes
+    // from service_workloads[s % |workloads|] (Sec. 6.2 uses all four).
+    std::vector<const sim::Ecdf*> dists;
+    for (std::uint32_t s = 0; s < cfg.num_services; ++s) {
+      dists.push_back(&workload::distribution(
+          cfg.service_workloads[s % cfg.service_workloads.size()]));
+    }
+    const std::uint32_t num_services = cfg.num_services;
+    all2all = std::make_unique<workload::AllToAllGenerator>(
+        sim, launcher, network.host_ptrs(), std::move(dists), gen_cfg,
+        [num_services](std::size_t src, std::size_t dst) {
+          return static_cast<std::uint32_t>((src + dst) % num_services);
+        },
+        spec_fn);
+    all2all->start();
+  }
+
+  const sim::Time limit = cfg.time_limit > 0 ? cfg.time_limit : sim::kTimeMax;
+  sim.run(limit);
+
+  FctReport report;
+  report.summary = fct.summary();
+  report.flows_started = cfg.persistent_connections ? pool.messages_submitted()
+                                                    : fm.flows_started();
+  report.flows_completed = flows_completed;
+  report.events = sim.events_executed();
+  report.sim_end = sim.now();
+  for (std::size_t s = 0; s < network.num_switches(); ++s) {
+    auto& sw = network.switch_at(s);
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      report.switch_drops += sw.port(p).counters().drops;
+      report.switch_marks += sw.port(p).counters().marks;
+    }
+  }
+  return report;
+}
+
+}  // namespace tcn::core

@@ -1,0 +1,71 @@
+// High-level FCT experiment harness: builds a topology, installs a scheme
+// and scheduler on every switch port, generates a Poisson workload, runs to
+// completion, and reports the paper's FCT statistics. Every dynamic-workload
+// figure (6-13) is one sweep over this function.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schemes.hpp"
+#include "stats/fct.hpp"
+#include "transport/tcp.hpp"
+#include "workload/distributions.hpp"
+
+namespace tcn::core {
+
+struct FctExperiment {
+  enum class Topology { kStarConverge, kLeafSpine };
+  Topology topology = Topology::kStarConverge;
+
+  Scheme scheme = Scheme::kTcn;
+  SchemeParams params;
+  SchedConfig sched;
+
+  // Traffic.
+  double load = 0.5;
+  std::size_t num_flows = 1000;
+  std::uint64_t seed = 1;
+  std::uint32_t num_services = 4;
+  /// Workload per service (cycled if shorter than num_services).
+  std::vector<workload::Kind> service_workloads = {workload::Kind::kWebSearch};
+  /// Number of low-priority service queues; defaults to num_services. When it
+  /// differs (the 32-queue robustness experiment), each flow is hashed to a
+  /// uniform service queue while keeping its service's size distribution.
+  std::size_t num_service_queues = 0;
+
+  // PIAS flow scheduling (Sec. 6.1.3 / 6.2): first `pias_threshold` bytes to
+  // the shared strict-high-priority queue.
+  bool pias = false;
+  std::uint64_t pias_threshold = 100'000;
+
+  /// true: flows are messages over warm persistent connections (the testbed
+  /// application, Sec. 6.1.2). false: one cold TCP connection per flow (the
+  /// ns-2 model used in the large-scale simulations).
+  bool persistent_connections = true;
+
+  transport::TcpConfig tcp;
+
+  // Topology parameters (only the matching one is used).
+  topo::StarConfig star;
+  topo::LeafSpineConfig leaf_spine;
+
+  /// Hard stop; 0 means run until every flow completes or events drain.
+  sim::Time time_limit = 0;
+};
+
+struct FctReport {
+  stats::FctSummary summary;
+  std::size_t flows_started = 0;
+  std::size_t flows_completed = 0;
+  std::uint64_t switch_drops = 0;
+  std::uint64_t switch_marks = 0;
+  std::uint64_t events = 0;
+  sim::Time sim_end = 0;
+};
+
+/// Run one experiment; deterministic for a given config (seeded RNG,
+/// deterministic event ordering).
+FctReport run_fct_experiment(const FctExperiment& cfg);
+
+}  // namespace tcn::core

@@ -1,0 +1,86 @@
+// Factories mapping (scheme, scheduler) enums onto concrete marker and
+// scheduler instances -- the configuration surface every bench and example
+// drives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace tcn::core {
+
+/// The ECN marking schemes evaluated in the paper (Sec. 6 "Schemes
+/// compared") plus the probabilistic TCN extension (Sec. 4.3).
+enum class Scheme {
+  kTcn,          ///< sojourn-time instantaneous marking (the contribution)
+  kTcnProb,      ///< probabilistic TCN with Tmin/Tmax/Pmax
+  kCodel,        ///< CoDel in mark mode
+  kMqEcn,        ///< MQ-ECN (round-robin schedulers only)
+  kRedPerQueue,  ///< per-queue RED, standard static threshold (current practice)
+  kRedPerPort,   ///< per-port RED (violates scheduling policies)
+  kRedDequeue,   ///< dequeue-side per-queue RED (Wu et al.)
+  kPie,          ///< full PIE controller (mark mode)
+  kIdealRate,    ///< Eq. 2 with the Algorithm-1 departure-rate estimator
+  kIdealOracle,  ///< Eq. 2 with capacities known offline (static experiments)
+  kNone,         ///< no marking (drop-tail)
+};
+
+enum class SchedKind {
+  kFifo,
+  kSp,
+  kDwrr,
+  kWrr,
+  kWfq,
+  kSpDwrr,  ///< num_sp strict queues over DWRR
+  kSpWfq,   ///< num_sp strict queues over WFQ
+  kPifoStfq,  ///< PIFO running an STFQ rank program
+};
+
+struct SchedConfig {
+  SchedKind kind = SchedKind::kDwrr;
+  std::size_t num_queues = 4;
+  std::size_t num_sp = 1;         ///< strict queues in hybrid kinds
+  std::uint64_t quantum = 1'500;  ///< DWRR per-round bytes (equal quanta)
+  double mq_ecn_beta = 0.75;      ///< round-time EWMA for MQ-ECN
+};
+
+struct SchemeParams {
+  /// RTT x lambda: TCN's threshold T (Eq. 3) and the time component of every
+  /// dynamic queue-length threshold (Eq. 2).
+  sim::Time rtt_lambda = 0;
+  /// Standard static threshold K = C x RTT x lambda in bytes (RED schemes).
+  std::uint64_t red_threshold_bytes = 0;
+  /// Per-queue thresholds for the oracle ideal RED.
+  std::vector<std::uint64_t> oracle_thresholds;
+  sim::Time codel_target = 0;
+  sim::Time codel_interval = 0;
+  /// PIE control parameters (mark mode); target defaults to rtt_lambda/5
+  /// and update period to rtt_lambda/2 when left at zero.
+  sim::Time pie_target = 0;
+  sim::Time pie_update = 0;
+  /// Algorithm 1 measurement threshold (paper default from PIE: 10KB).
+  std::uint64_t dq_thresh = 10'000;
+  double ewma_w = 0.875;
+  // Probabilistic TCN.
+  sim::Time tcn_tmin = 0;
+  sim::Time tcn_tmax = 0;
+  double tcn_pmax = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Scheduler factory for switch ports. Throws std::invalid_argument on
+/// nonsensical configs (e.g. hybrid with num_sp >= num_queues).
+topo::SchedulerFactory make_scheduler_factory(const SchedConfig& cfg);
+
+/// Marker factory. For kMqEcn the produced factory requires the port
+/// scheduler (or the inner scheduler of an SP hybrid -- which the paper's
+/// MQ-ECN cannot support, so that case throws) to be a RoundRateProvider.
+topo::MarkerFactory make_marker_factory(Scheme scheme,
+                                        const SchemeParams& params);
+
+std::string scheme_name(Scheme s);
+std::string sched_name(SchedKind k);
+
+}  // namespace tcn::core

@@ -1,0 +1,21 @@
+// Node interface: anything that can terminate a link.
+#pragma once
+
+#include <string_view>
+
+#include "net/packet.hpp"
+
+namespace tcn::net {
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// A packet arrived on ingress index `ingress` (meaning is node-specific;
+  /// switches use it for diagnostics only).
+  virtual void receive(PacketPtr p, std::size_t ingress) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace tcn::net

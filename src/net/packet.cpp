@@ -1,0 +1,14 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+
+namespace tcn::net {
+
+PacketPtr make_packet() {
+  static std::atomic<std::uint64_t> next_uid{1};
+  auto p = std::make_unique<Packet>();
+  p->uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace tcn::net

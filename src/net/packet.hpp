@@ -1,0 +1,95 @@
+// Packet model.
+//
+// One struct covers TCP data/ACK segments and ping probes. Packets are owned
+// by exactly one component at a time and moved along the path as
+// std::unique_ptr<Packet>; queues, links and transports never share them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace tcn::net {
+
+/// ECN codepoints from RFC 3168.
+enum class Ecn : std::uint8_t {
+  kNotEct = 0,  ///< not ECN-capable transport
+  kEct0 = 1,
+  kEct1 = 2,
+  kCe = 3,  ///< congestion experienced
+};
+
+enum class PacketType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kPing = 2,
+  kPong = 3,
+  kCnp = 4,  ///< DCQCN Congestion Notification Packet
+};
+
+/// Fixed L2-L4 header overhead carried by every packet (Ethernet + IP + TCP).
+inline constexpr std::uint32_t kHeaderBytes = 40;
+/// Default MSS; 1500B MTU minus headers.
+inline constexpr std::uint32_t kDefaultMss = 1460;
+
+struct Packet {
+  std::uint64_t uid = 0;  ///< globally unique, for tracing
+
+  PacketType type = PacketType::kData;
+  std::uint32_t src = 0;  ///< source host address
+  std::uint32_t dst = 0;  ///< destination host address
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint64_t flow = 0;  ///< flow id, for statistics
+
+  std::uint32_t size = 0;     ///< total wire size in bytes (headers included)
+  std::uint32_t payload = 0;  ///< TCP payload bytes carried
+  std::uint64_t seq = 0;      ///< first payload byte (data packets)
+  std::uint64_t ack = 0;      ///< cumulative ack (ACK packets)
+  bool ece = false;           ///< ECN echo flag (ACK packets)
+
+  /// SACK option: up to 3 [begin, end) blocks of out-of-order data held by
+  /// the receiver (RFC 2018 carries at most 3-4 alongside timestamps).
+  std::array<std::pair<std::uint64_t, std::uint64_t>, 3> sack{};
+  std::uint8_t sack_count = 0;
+
+  Ecn ecn = Ecn::kNotEct;
+  std::uint8_t dscp = 0;  ///< service class; switches classify on this
+
+  /// Per-hop enqueue timestamp; the egress port sets it on enqueue so
+  /// sojourn-time AQMs (TCN, CoDel) can compute it at dequeue. Mirrors the
+  /// 2B hardware metadata timestamp of Sec. 4.2.
+  sim::Time enqueue_ts = 0;
+  /// Application send timestamp (ping RTT measurement).
+  sim::Time sent_ts = 0;
+
+  [[nodiscard]] bool ect() const noexcept {
+    return ecn == Ecn::kEct0 || ecn == Ecn::kEct1;
+  }
+  [[nodiscard]] bool ce() const noexcept { return ecn == Ecn::kCe; }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Factory with a process-wide uid counter (uids are only for tracing and do
+/// not affect simulation behaviour).
+PacketPtr make_packet();
+
+/// Copyable owner used to move a PacketPtr through std::function event
+/// callbacks (which require copyable captures) without leaking if the event
+/// never fires.
+class PacketHolder {
+ public:
+  explicit PacketHolder(PacketPtr p)
+      : p_(std::make_shared<PacketPtr>(std::move(p))) {}
+
+  /// Transfers ownership out; valid exactly once.
+  [[nodiscard]] PacketPtr take() const { return std::move(*p_); }
+
+ private:
+  std::shared_ptr<PacketPtr> p_;
+};
+
+}  // namespace tcn::net

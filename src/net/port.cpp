@@ -1,0 +1,126 @@
+#include "net/port.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tcn::net {
+
+Port::Port(sim::Simulator& sim, std::string name, PortConfig cfg,
+           std::unique_ptr<Scheduler> sched, std::unique_ptr<Marker> marker)
+    : sim_(sim),
+      name_(std::move(name)),
+      cfg_(cfg),
+      effective_rate_bps_(static_cast<std::uint64_t>(
+          static_cast<double>(cfg.rate_bps) * cfg.rate_limit_fraction)),
+      sched_(std::move(sched)),
+      marker_(std::move(marker)),
+      queues_(cfg.num_queues),
+      queue_drops_(cfg.num_queues, 0) {
+  if (cfg.num_queues == 0) {
+    throw std::invalid_argument("Port: num_queues must be >= 1");
+  }
+  if (cfg.rate_limit_fraction <= 0.0 || cfg.rate_limit_fraction > 1.0) {
+    throw std::invalid_argument("Port: rate_limit_fraction out of (0,1]");
+  }
+  if (!sched_ || !marker_) {
+    throw std::invalid_argument("Port: scheduler and marker are required");
+  }
+  sched_->bind(&queues_, effective_rate_bps_);
+}
+
+void Port::emit(TraceEvent event, const Packet& p, std::size_t queue) {
+  TraceRecord rec;
+  rec.t = sim_.now();
+  rec.event = event;
+  rec.port = name_;
+  rec.queue = queue;
+  rec.flow = p.flow;
+  rec.seq = p.seq;
+  rec.size = p.size;
+  rec.dscp = p.dscp;
+  rec.queue_bytes = queues_[queue].bytes();
+  rec.port_bytes = total_bytes_;
+  observer_->on_event(rec);
+}
+
+void Port::connect(Node* peer, std::size_t peer_ingress) {
+  peer_ = peer;
+  peer_ingress_ = peer_ingress;
+}
+
+void Port::enqueue(PacketPtr p, std::size_t queue) {
+  assert(queue < queues_.size());
+  // Shared-buffer admission: tail drop on the port total.
+  if (total_bytes_ + p->size > cfg_.buffer_bytes) {
+    ++counters_.drops;
+    counters_.drop_bytes += p->size;
+    ++queue_drops_[queue];
+    if (observer_ != nullptr) emit(TraceEvent::kDrop, *p, queue);
+    return;  // packet destroyed
+  }
+  p->enqueue_ts = sim_.now();
+  total_bytes_ += p->size;
+  ++counters_.enq_packets;
+  counters_.enq_bytes += p->size;
+
+  Packet& ref = *p;
+  queues_[queue].push(std::move(p));
+  sched_->on_enqueue(queue, ref, sim_.now());
+
+  const MarkContext ctx{.now = sim_.now(),
+                        .queue = queue,
+                        .queue_bytes = queues_[queue].bytes(),
+                        .port_bytes = total_bytes_,
+                        .link_rate_bps = effective_rate_bps_};
+  if (marker_->on_enqueue(ctx, ref) && ref.ect()) {
+    ref.ecn = Ecn::kCe;
+    ++counters_.marks;
+    if (observer_ != nullptr) emit(TraceEvent::kMark, ref, queue);
+  }
+  if (observer_ != nullptr) emit(TraceEvent::kEnqueue, ref, queue);
+
+  try_transmit();
+}
+
+void Port::try_transmit() {
+  if (busy_ || total_bytes_ == 0) return;
+
+  const std::size_t q = sched_->select(sim_.now());
+  assert(q < queues_.size() && !queues_[q].empty());
+
+  PacketPtr p = queues_[q].pop();
+  total_bytes_ -= p->size;
+  sched_->on_dequeue(q, *p, sim_.now());
+
+  const MarkContext ctx{.now = sim_.now(),
+                        .queue = q,
+                        .queue_bytes = queues_[q].bytes(),
+                        .port_bytes = total_bytes_,
+                        .link_rate_bps = effective_rate_bps_};
+  if (marker_->on_dequeue(ctx, *p) && p->ect()) {
+    p->ecn = Ecn::kCe;
+    ++counters_.marks;
+    if (observer_ != nullptr) emit(TraceEvent::kMark, *p, q);
+  }
+  if (observer_ != nullptr) emit(TraceEvent::kDequeue, *p, q);
+
+  ++counters_.tx_packets;
+  counters_.tx_bytes += p->size;
+
+  const sim::Time tx = sim::transmission_time(p->size, effective_rate_bps_);
+  busy_ = true;
+  // Serialization finishes at now+tx; the packet then propagates for
+  // prop_delay before hitting the peer.
+  sim_.schedule_in(tx, [this, holder = PacketHolder(std::move(p))]() {
+    busy_ = false;
+    if (peer_ != nullptr) {
+      sim_.schedule_in(cfg_.prop_delay, [this, holder]() {
+        peer_->receive(holder.take(), peer_ingress_);
+      });
+    }
+    try_transmit();
+  });
+}
+
+}  // namespace tcn::net

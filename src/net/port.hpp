@@ -1,0 +1,114 @@
+// Egress port: the pipeline the paper's qdisc prototype implements (Sec. 5).
+//
+//   classify (done by the owning Switch/Host)
+//     -> shared-buffer admission (tail drop, first-in-first-serve)
+//     -> enqueue ECN marking hook
+//     -> packet scheduler
+//     -> dequeue ECN marking hook
+//     -> serialization on the link + propagation to the peer
+//
+// The port optionally shapes its drain rate below line rate (the prototype's
+// token-bucket rate limiter runs at 99.5% of NIC capacity so queueing stays
+// visible to the AQM).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/marker.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "net/scheduler.hpp"
+#include "net/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcn::net {
+
+struct PortConfig {
+  std::uint64_t rate_bps = 1'000'000'000;
+  sim::Time prop_delay = 0;
+  std::size_t num_queues = 1;
+  /// Shared buffer across all queues of the port; admission is tail drop on
+  /// the port total (first-in-first-serve, as on the testbed switch).
+  std::uint64_t buffer_bytes = UINT64_MAX;
+  /// Drain-rate shaping as a fraction of rate_bps (Sec. 5 rate limiter).
+  double rate_limit_fraction = 1.0;
+};
+
+class Port {
+ public:
+  Port(sim::Simulator& sim, std::string name, PortConfig cfg,
+       std::unique_ptr<Scheduler> sched, std::unique_ptr<Marker> marker);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  /// Attach the far end of the link.
+  void connect(Node* peer, std::size_t peer_ingress);
+
+  /// Submit a packet to queue `queue`. May drop (shared buffer full) or mark.
+  void enqueue(PacketPtr p, std::size_t queue);
+
+  struct Counters {
+    std::uint64_t enq_packets = 0;
+    std::uint64_t enq_bytes = 0;
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t drop_bytes = 0;
+    std::uint64_t marks = 0;
+  };
+
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  /// Drops attributed to the queue the packet was classified into.
+  [[nodiscard]] std::uint64_t queue_drops(std::size_t q) const {
+    return queue_drops_.at(q);
+  }
+  [[nodiscard]] std::uint64_t queue_bytes(std::size_t q) const {
+    return queues_[q].bytes();
+  }
+  [[nodiscard]] std::size_t queue_packets(std::size_t q) const {
+    return queues_[q].size();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+  [[nodiscard]] std::size_t num_queues() const noexcept {
+    return queues_.size();
+  }
+  [[nodiscard]] std::uint64_t effective_rate_bps() const noexcept {
+    return effective_rate_bps_;
+  }
+  [[nodiscard]] const PortConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *sched_; }
+  [[nodiscard]] Marker& marker() noexcept { return *marker_; }
+
+  /// Attach (or detach with nullptr) a trace observer; it must outlive the
+  /// port or be detached first.
+  void set_observer(PortObserver* obs) noexcept { observer_ = obs; }
+
+ private:
+  void try_transmit();
+  void emit(TraceEvent event, const Packet& p, std::size_t queue);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  PortConfig cfg_;
+  std::uint64_t effective_rate_bps_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<Marker> marker_;
+  std::vector<PacketQueue> queues_;
+  std::uint64_t total_bytes_ = 0;
+  bool busy_ = false;
+  Node* peer_ = nullptr;
+  std::size_t peer_ingress_ = 0;
+  Counters counters_;
+  std::vector<std::uint64_t> queue_drops_;
+  PortObserver* observer_ = nullptr;
+};
+
+}  // namespace tcn::net

@@ -1,0 +1,39 @@
+// A single FIFO packet queue with byte accounting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+
+namespace tcn::net {
+
+class PacketQueue {
+ public:
+  void push(PacketPtr p) {
+    bytes_ += p->size;
+    q_.push_back(std::move(p));
+  }
+
+  PacketPtr pop() {
+    PacketPtr p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p->size;
+    return p;
+  }
+
+  /// Head packet, or nullptr when empty.
+  [[nodiscard]] const Packet* front() const noexcept {
+    return q_.empty() ? nullptr : q_.front().get();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::deque<PacketPtr> q_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace tcn::net

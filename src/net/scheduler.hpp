@@ -1,0 +1,68 @@
+// Packet scheduler interface.
+//
+// An egress Port owns N FIFO queues; a Scheduler decides which non-empty
+// queue the next departing packet comes from. Implementations live in
+// src/sched; this header only defines the contract so net/ stays the bottom
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::net {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once by the owning Port before any traffic. `queues` outlives the
+  /// scheduler; `link_rate_bps` is the port's effective drain rate.
+  virtual void bind(const std::vector<PacketQueue>* queues,
+                    std::uint64_t link_rate_bps) {
+    queues_ = queues;
+    link_rate_bps_ = link_rate_bps;
+  }
+
+  /// A packet was appended to queue `q` (already counted in the queue).
+  virtual void on_enqueue(std::size_t q, const Packet& p, sim::Time now) = 0;
+
+  /// Choose the queue the next departure comes from. Called exactly once per
+  /// departure, only when at least one queue is non-empty; must return a
+  /// non-empty queue's index. May mutate scheduler state (deficits, grants).
+  virtual std::size_t select(sim::Time now) = 0;
+
+  /// The head packet of queue `q` was removed (already uncounted).
+  virtual void on_dequeue(std::size_t q, const Packet& p, sim::Time now) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+ protected:
+  [[nodiscard]] const std::vector<PacketQueue>& queues() const {
+    return *queues_;
+  }
+  [[nodiscard]] std::uint64_t link_rate_bps() const noexcept {
+    return link_rate_bps_;
+  }
+
+ private:
+  const std::vector<PacketQueue>* queues_ = nullptr;
+  std::uint64_t link_rate_bps_ = 0;
+};
+
+/// Implemented by round-robin schedulers (DWRR/WRR) that can estimate a
+/// queue's share of the link from their round time -- the hook MQ-ECN needs
+/// (Sec. 3.3: quantum_i / T_round).
+class RoundRateProvider {
+ public:
+  virtual ~RoundRateProvider() = default;
+  /// Estimated drain rate of queue `q` in bits/s at time `now`.
+  [[nodiscard]] virtual double queue_rate_bps(std::size_t q,
+                                              sim::Time now) const = 0;
+};
+
+}  // namespace tcn::net

@@ -1,0 +1,70 @@
+#include "net/switch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcn::net {
+namespace {
+
+/// splitmix64 finalizer: a strong deterministic mixer for ECMP hashing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t flow_hash(const Packet& p) {
+  // Hash the bidirectionally-asymmetric 5-tuple; data and ACKs of one flow
+  // may take different paths, as with real ECMP.
+  const std::uint64_t a =
+      (static_cast<std::uint64_t>(p.src) << 32) | p.dst;
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(p.sport) << 16) | p.dport;
+  return mix64(a ^ mix64(b));
+}
+
+}  // namespace
+
+Classifier dscp_classifier() {
+  return [](const Packet& p, std::size_t num_queues) {
+    return std::min<std::size_t>(p.dscp, num_queues - 1);
+  };
+}
+
+Switch::Switch(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), classifier_(dscp_classifier()) {}
+
+std::size_t Switch::add_port(PortConfig cfg, std::unique_ptr<Scheduler> sched,
+                             std::unique_ptr<Marker> marker) {
+  const std::size_t idx = ports_.size();
+  ports_.push_back(std::make_unique<Port>(
+      sim_, name_ + ".p" + std::to_string(idx), cfg, std::move(sched),
+      std::move(marker)));
+  return idx;
+}
+
+void Switch::connect(std::size_t port, Node* peer, std::size_t peer_ingress) {
+  ports_.at(port)->connect(peer, peer_ingress);
+}
+
+void Switch::add_route(std::uint32_t dst, std::vector<std::size_t> ports) {
+  routes_[dst] = std::move(ports);
+}
+
+void Switch::receive(PacketPtr p, std::size_t /*ingress*/) {
+  const auto it = routes_.find(p->dst);
+  if (it == routes_.end() || it->second.empty()) {
+    ++unrouted_;
+    return;
+  }
+  const auto& group = it->second;
+  const std::size_t out =
+      group.size() == 1 ? group[0]
+                        : group[flow_hash(*p) % group.size()];
+  Port& port = *ports_[out];
+  const std::size_t q = classifier_(*p, port.num_queues());
+  port.enqueue(std::move(p), q);
+}
+
+}  // namespace tcn::net

@@ -1,0 +1,61 @@
+// Output-queued switch with DSCP classification and ECMP routing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/marker.hpp"
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "net/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcn::net {
+
+/// Maps a packet to a queue index in [0, num_queues). The default classifier
+/// uses min(dscp, num_queues-1), matching the prototype's DSCP classifier.
+using Classifier = std::function<std::size_t(const Packet&, std::size_t)>;
+
+Classifier dscp_classifier();
+
+class Switch final : public Node {
+ public:
+  Switch(sim::Simulator& sim, std::string name);
+
+  /// Create an egress port; returns its index.
+  std::size_t add_port(PortConfig cfg, std::unique_ptr<Scheduler> sched,
+                       std::unique_ptr<Marker> marker);
+
+  /// Attach the far end of port `port`.
+  void connect(std::size_t port, Node* peer, std::size_t peer_ingress);
+
+  /// Route packets destined to host `dst` out one of `ports` (ECMP when the
+  /// group has several members; the 5-tuple hash picks a member so a flow
+  /// stays on one path).
+  void add_route(std::uint32_t dst, std::vector<std::size_t> ports);
+
+  void set_classifier(Classifier c) { classifier_ = std::move(c); }
+
+  void receive(PacketPtr p, std::size_t ingress) override;
+
+  [[nodiscard]] Port& port(std::size_t i) { return *ports_.at(i); }
+  [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  /// Packets that arrived with no matching route (diagnostics).
+  [[nodiscard]] std::uint64_t unrouted() const noexcept { return unrouted_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> routes_;
+  Classifier classifier_;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace tcn::net

@@ -1,0 +1,57 @@
+// Token-bucket shaper (Sec. 5): the software prototype shapes qdisc egress to
+// 99.5% of NIC rate with a ~1.67 MTU bucket so queueing stays inside the
+// qdisc where the AQM can see it. The Port implements shaping via
+// rate_limit_fraction; this standalone class models the bucket itself and is
+// used by tests to validate the burst bound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace tcn::net {
+
+class TokenBucket {
+ public:
+  /// `rate_bps`: refill rate; `bucket_bytes`: burst capacity.
+  TokenBucket(std::uint64_t rate_bps, std::uint64_t bucket_bytes)
+      : rate_bps_(rate_bps),
+        bucket_bytes_(bucket_bytes),
+        tokens_(static_cast<double>(bucket_bytes)) {}
+
+  /// Earliest time at or after `now` when `bytes` may be sent. Does not
+  /// consume tokens.
+  [[nodiscard]] sim::Time earliest(sim::Time now, std::uint64_t bytes) const {
+    const double avail = tokens_at(now);
+    if (avail >= static_cast<double>(bytes)) return now;
+    const double deficit = static_cast<double>(bytes) - avail;
+    const double wait_s = deficit * 8.0 / static_cast<double>(rate_bps_);
+    return now + sim::from_seconds(wait_s) + 1;  // +1ns: never early
+  }
+
+  /// Consume tokens for a send at time `at` (>= last update time).
+  void consume(sim::Time at, std::uint64_t bytes) {
+    tokens_ = tokens_at(at) - static_cast<double>(bytes);
+    last_ = at;
+  }
+
+  [[nodiscard]] double tokens_at(sim::Time at) const {
+    const double refill = sim::to_seconds(at - last_) *
+                          static_cast<double>(rate_bps_) / 8.0;
+    return std::min(static_cast<double>(bucket_bytes_), tokens_ + refill);
+  }
+
+  [[nodiscard]] std::uint64_t rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] std::uint64_t bucket_bytes() const noexcept {
+    return bucket_bytes_;
+  }
+
+ private:
+  std::uint64_t rate_bps_;
+  std::uint64_t bucket_bytes_;
+  double tokens_;
+  sim::Time last_ = 0;
+};
+
+}  // namespace tcn::net

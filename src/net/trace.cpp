@@ -1,0 +1,15 @@
+#include "net/trace.hpp"
+
+namespace tcn::net {
+
+std::string_view trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kEnqueue: return "enq";
+    case TraceEvent::kDequeue: return "deq";
+    case TraceEvent::kDrop: return "drop";
+    case TraceEvent::kMark: return "mark";
+  }
+  return "?";
+}
+
+}  // namespace tcn::net

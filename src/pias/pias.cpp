@@ -1,0 +1,34 @@
+#include "pias/pias.hpp"
+
+namespace tcn::pias {
+
+transport::DscpFn two_priority(std::uint8_t high_dscp,
+                               std::uint8_t service_dscp,
+                               std::uint64_t threshold) {
+  return [=](std::uint64_t offset) {
+    return offset < threshold ? high_dscp : service_dscp;
+  };
+}
+
+transport::DscpFn multi_level(std::vector<std::uint64_t> thresholds,
+                              std::vector<std::uint8_t> dscps) {
+  if (dscps.size() != thresholds.size() + 1) {
+    throw std::invalid_argument("pias::multi_level: need N+1 dscps");
+  }
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    if (thresholds[i] <= thresholds[i - 1]) {
+      throw std::invalid_argument(
+          "pias::multi_level: thresholds must be strictly increasing");
+    }
+  }
+  return [thresholds = std::move(thresholds),
+          dscps = std::move(dscps)](std::uint64_t offset) {
+    std::size_t level = 0;
+    while (level < thresholds.size() && offset >= thresholds[level]) {
+      ++level;
+    }
+    return dscps[level];
+  };
+}
+
+}  // namespace tcn::pias

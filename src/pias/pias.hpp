@@ -1,0 +1,31 @@
+// PIAS (Bai et al., NSDI 2015) flow scheduling tags, as used in Sec. 6.1.3 /
+// 6.2: the first `threshold` bytes of every flow (message) go to a shared
+// strict-high-priority queue; the remainder returns to the flow's dedicated
+// service queue. The testbed uses the two-priority variant with a 100KB
+// threshold; the general multi-level demotion ladder is also provided.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "transport/tcp.hpp"
+
+namespace tcn::pias {
+
+/// Default PIAS demotion threshold used throughout the paper.
+inline constexpr std::uint64_t kDefaultThresholdBytes = 100'000;
+
+/// Two-priority PIAS: bytes below `threshold` -> `high_dscp`, rest ->
+/// `service_dscp`.
+transport::DscpFn two_priority(std::uint8_t high_dscp,
+                               std::uint8_t service_dscp,
+                               std::uint64_t threshold = kDefaultThresholdBytes);
+
+/// General PIAS ladder: `thresholds` are the demotion boundaries (strictly
+/// increasing); a byte at offset b gets dscps[i] where i is the number of
+/// boundaries <= b. dscps.size() must equal thresholds.size() + 1.
+transport::DscpFn multi_level(std::vector<std::uint64_t> thresholds,
+                              std::vector<std::uint8_t> dscps);
+
+}  // namespace tcn::pias

@@ -1,0 +1,108 @@
+#include "sched/dwrr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tcn::sched {
+
+DwrrScheduler::DwrrScheduler(std::vector<std::uint64_t> quanta, double beta,
+                             sim::Time idle_reset)
+    : quanta_(std::move(quanta)), beta_(beta), idle_reset_(idle_reset) {
+  if (quanta_.empty()) {
+    throw std::invalid_argument("DwrrScheduler: no quanta");
+  }
+  for (const auto q : quanta_) {
+    if (q == 0) throw std::invalid_argument("DwrrScheduler: zero quantum");
+  }
+  if (beta_ < 0.0 || beta_ >= 1.0) {
+    throw std::invalid_argument("DwrrScheduler: beta out of [0,1)");
+  }
+  state_.resize(quanta_.size());
+  smoothed_round_.assign(quanta_.size(), 0);
+}
+
+void DwrrScheduler::bind(const std::vector<net::PacketQueue>* queues,
+                         std::uint64_t link_rate_bps) {
+  if (queues->size() != quanta_.size()) {
+    throw std::invalid_argument("DwrrScheduler: quanta count != queue count");
+  }
+  Scheduler::bind(queues, link_rate_bps);
+}
+
+void DwrrScheduler::on_enqueue(std::size_t q, const net::Packet&,
+                               sim::Time now) {
+  QState& s = state_[q];
+  if (s.active) return;
+  s.active = true;
+  s.fresh_visit = true;
+  s.deficit = 0;
+  // MQ-ECN T_idle rule: a queue idle longer than idle_reset forgets its round
+  // time -- its share estimate snaps back to the full link rate.
+  if (s.deactivated >= 0 && now - s.deactivated > idle_reset_) {
+    smoothed_round_[q] = 0;
+    s.last_grant = -1;
+  }
+  active_list_.push_back(q);
+}
+
+std::size_t DwrrScheduler::select(sim::Time now) {
+  assert(!active_list_.empty());
+  // Each pass either returns or rotates a queue whose head does not fit; a
+  // fresh visit adds a full quantum, so deficits grow until a head fits and
+  // the loop terminates.
+  for (;;) {
+    const std::size_t q = active_list_.front();
+    QState& s = state_[q];
+    if (s.fresh_visit) {
+      // Quantum grant: queue q's service turn starts in this round.
+      if (s.last_grant >= 0) {
+        const sim::Time sample = now - s.last_grant;
+        smoothed_round_[q] = static_cast<sim::Time>(
+            beta_ * static_cast<double>(smoothed_round_[q]) +
+            (1.0 - beta_) * static_cast<double>(sample));
+      }
+      s.last_grant = now;
+      s.deficit += quanta_[q];
+      s.fresh_visit = false;
+    }
+    const net::Packet* head = queues()[q].front();
+    assert(head != nullptr);
+    if (head->size <= s.deficit) {
+      in_service_ = q;
+      return q;
+    }
+    // Head does not fit: rotate to the tail, keep the residual deficit.
+    active_list_.pop_front();
+    active_list_.push_back(q);
+    s.fresh_visit = true;
+  }
+}
+
+void DwrrScheduler::on_dequeue(std::size_t q, const net::Packet& p,
+                               sim::Time now) {
+  QState& s = state_[q];
+  assert(q == in_service_ && s.active);
+  s.deficit -= std::min<std::uint64_t>(s.deficit, p.size);
+  in_service_ = SIZE_MAX;
+  if (queues()[q].empty()) {
+    // Queue leaves the active list and forfeits its deficit.
+    assert(active_list_.front() == q);
+    active_list_.pop_front();
+    s.active = false;
+    s.fresh_visit = true;
+    s.deficit = 0;
+    s.deactivated = now;
+  }
+}
+
+double DwrrScheduler::queue_rate_bps(std::size_t q, sim::Time) const {
+  const sim::Time t = smoothed_round_[q];
+  const double link = static_cast<double>(link_rate_bps());
+  if (t <= 0) return link;
+  const double rate =
+      static_cast<double>(quanta_[q]) * 8.0 / sim::to_seconds(t);
+  return std::min(rate, link);
+}
+
+}  // namespace tcn::sched

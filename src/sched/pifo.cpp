@@ -1,0 +1,71 @@
+#include "sched/pifo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace tcn::sched {
+
+PifoScheduler::PifoScheduler(RankFn rank) : rank_(std::move(rank)) {
+  if (!rank_) throw std::invalid_argument("PifoScheduler: rank fn required");
+}
+
+void PifoScheduler::bind(const std::vector<net::PacketQueue>* queues,
+                         std::uint64_t link_rate_bps) {
+  Scheduler::bind(queues, link_rate_bps);
+  ranks_.resize(queues->size());
+}
+
+void PifoScheduler::on_enqueue(std::size_t q, const net::Packet& p,
+                               sim::Time now) {
+  ranks_[q].push_back(rank_(p, q, now));
+}
+
+std::size_t PifoScheduler::select(sim::Time) {
+  std::size_t best = SIZE_MAX;
+  std::int64_t best_rank = 0;
+  for (std::size_t q = 0; q < ranks_.size(); ++q) {
+    if (ranks_[q].empty()) continue;
+    const std::int64_t r = ranks_[q].front();
+    if (best == SIZE_MAX || r < best_rank) {
+      best = q;
+      best_rank = r;
+    }
+  }
+  assert(best != SIZE_MAX);
+  return best;
+}
+
+void PifoScheduler::on_dequeue(std::size_t q, const net::Packet&, sim::Time) {
+  assert(!ranks_[q].empty());
+  ranks_[q].pop_front();
+}
+
+PifoScheduler::RankFn PifoScheduler::stfq_program(std::vector<double> weights) {
+  // Shared mutable state lives in the closure; one program per scheduler.
+  struct State {
+    std::vector<double> weights;
+    std::vector<double> last_finish;
+    double vtime = 0.0;
+  };
+  auto st = std::make_shared<State>();
+  st->weights = std::move(weights);
+  st->last_finish.assign(st->weights.size(), 0.0);
+  return [st](const net::Packet& p, std::size_t q, sim::Time) -> std::int64_t {
+    if (q >= st->weights.size()) q = st->weights.size() - 1;
+    const double start = std::max(st->vtime, st->last_finish[q]);
+    st->last_finish[q] =
+        start + static_cast<double>(p.size) / st->weights[q];
+    st->vtime = start;  // STFQ advances virtual time to the start tag
+    return static_cast<std::int64_t>(start);
+  };
+}
+
+PifoScheduler::RankFn PifoScheduler::priority_program() {
+  return [](const net::Packet&, std::size_t q, sim::Time) {
+    return static_cast<std::int64_t>(q);
+  };
+}
+
+}  // namespace tcn::sched

@@ -1,0 +1,47 @@
+#include "sched/sp_hybrid.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tcn::sched {
+
+SpHybridScheduler::SpHybridScheduler(std::size_t num_sp,
+                                     std::unique_ptr<net::Scheduler> inner)
+    : num_sp_(num_sp), inner_(std::move(inner)) {
+  if (num_sp_ == 0) {
+    throw std::invalid_argument("SpHybridScheduler: num_sp must be >= 1");
+  }
+  if (!inner_) {
+    throw std::invalid_argument("SpHybridScheduler: inner required");
+  }
+  name_ = "sp/" + std::string(inner_->name());
+}
+
+void SpHybridScheduler::bind(const std::vector<net::PacketQueue>* queues,
+                             std::uint64_t link_rate_bps) {
+  if (queues->size() <= num_sp_) {
+    throw std::invalid_argument(
+        "SpHybridScheduler: need at least one low-priority queue");
+  }
+  Scheduler::bind(queues, link_rate_bps);
+  inner_->bind(queues, link_rate_bps);
+}
+
+void SpHybridScheduler::on_enqueue(std::size_t q, const net::Packet& p,
+                                   sim::Time now) {
+  if (q >= num_sp_) inner_->on_enqueue(q, p, now);
+}
+
+std::size_t SpHybridScheduler::select(sim::Time now) {
+  for (std::size_t i = 0; i < num_sp_; ++i) {
+    if (!queues()[i].empty()) return i;
+  }
+  return inner_->select(now);
+}
+
+void SpHybridScheduler::on_dequeue(std::size_t q, const net::Packet& p,
+                                   sim::Time now) {
+  if (q >= num_sp_) inner_->on_dequeue(q, p, now);
+}
+
+}  // namespace tcn::sched

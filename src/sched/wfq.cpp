@@ -1,0 +1,65 @@
+#include "sched/wfq.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace tcn::sched {
+
+WfqScheduler::WfqScheduler(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) throw std::invalid_argument("WfqScheduler: empty");
+  for (const double w : weights_) {
+    if (w <= 0.0) throw std::invalid_argument("WfqScheduler: weight <= 0");
+  }
+  tags_.resize(weights_.size());
+  last_finish_.assign(weights_.size(), 0.0);
+}
+
+void WfqScheduler::bind(const std::vector<net::PacketQueue>* queues,
+                        std::uint64_t link_rate_bps) {
+  if (queues->size() != weights_.size()) {
+    throw std::invalid_argument("WfqScheduler: weight count != queue count");
+  }
+  Scheduler::bind(queues, link_rate_bps);
+}
+
+void WfqScheduler::on_enqueue(std::size_t q, const net::Packet& p, sim::Time) {
+  if (backlog_pkts_ == 0) {
+    // Idle system: reset the virtual clock so tags stay well-conditioned.
+    vtime_ = 0.0;
+    std::fill(last_finish_.begin(), last_finish_.end(), 0.0);
+  }
+  const double start = std::max(vtime_, last_finish_[q]);
+  const double finish = start + static_cast<double>(p.size) / weights_[q];
+  last_finish_[q] = finish;
+  tags_[q].push_back(finish);
+  ++backlog_pkts_;
+}
+
+std::size_t WfqScheduler::select(sim::Time) {
+  assert(backlog_pkts_ > 0);
+  std::size_t best = SIZE_MAX;
+  double best_tag = 0.0;
+  for (std::size_t q = 0; q < tags_.size(); ++q) {
+    if (tags_[q].empty()) continue;
+    const double t = tags_[q].front();
+    if (best == SIZE_MAX || t < best_tag) {
+      best = q;
+      best_tag = t;
+    }
+  }
+  assert(best != SIZE_MAX);
+  return best;
+}
+
+void WfqScheduler::on_dequeue(std::size_t q, const net::Packet&, sim::Time) {
+  assert(!tags_[q].empty());
+  // Self-clocking: the system virtual time is the finish tag of the packet
+  // entering service.
+  vtime_ = tags_[q].front();
+  tags_[q].pop_front();
+  --backlog_pkts_;
+}
+
+}  // namespace tcn::sched

@@ -1,0 +1,56 @@
+#include "sched/wrr.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tcn::sched {
+
+WrrScheduler::WrrScheduler(std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.empty()) throw std::invalid_argument("WrrScheduler: empty");
+  for (const auto w : weights_) {
+    if (w == 0) throw std::invalid_argument("WrrScheduler: zero weight");
+  }
+  credit_.assign(weights_.size(), 0);
+  active_.assign(weights_.size(), false);
+}
+
+void WrrScheduler::bind(const std::vector<net::PacketQueue>* queues,
+                        std::uint64_t link_rate_bps) {
+  if (queues->size() != weights_.size()) {
+    throw std::invalid_argument("WrrScheduler: weight count != queue count");
+  }
+  Scheduler::bind(queues, link_rate_bps);
+}
+
+void WrrScheduler::on_enqueue(std::size_t q, const net::Packet&, sim::Time) {
+  if (active_[q]) return;
+  active_[q] = true;
+  credit_[q] = weights_[q];
+  active_list_.push_back(q);
+}
+
+std::size_t WrrScheduler::select(sim::Time) {
+  assert(!active_list_.empty());
+  for (;;) {
+    const std::size_t q = active_list_.front();
+    if (credit_[q] > 0) return q;
+    // Visit exhausted: recharge and rotate.
+    credit_[q] = weights_[q];
+    active_list_.pop_front();
+    active_list_.push_back(q);
+  }
+}
+
+void WrrScheduler::on_dequeue(std::size_t q, const net::Packet&, sim::Time) {
+  assert(credit_[q] > 0);
+  --credit_[q];
+  if (queues()[q].empty()) {
+    assert(active_list_.front() == q);
+    active_list_.pop_front();
+    active_[q] = false;
+    credit_[q] = 0;
+  }
+}
+
+}  // namespace tcn::sched

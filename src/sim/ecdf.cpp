@@ -1,0 +1,76 @@
+#include "sim/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcn::sim {
+
+Ecdf::Ecdf(std::vector<Point> points, std::string name)
+    : points_(std::move(points)), name_(std::move(name)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("Ecdf: no points");
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto& p = points_[i];
+    if (p.cdf < 0.0 || p.cdf > 1.0) {
+      throw std::invalid_argument("Ecdf: cdf out of [0,1]");
+    }
+    if (i > 0) {
+      if (p.value < points_[i - 1].value) {
+        throw std::invalid_argument("Ecdf: values not sorted");
+      }
+      if (p.cdf < points_[i - 1].cdf) {
+        throw std::invalid_argument("Ecdf: cdf not monotone");
+      }
+    }
+  }
+  if (points_.back().cdf != 1.0) {
+    throw std::invalid_argument("Ecdf: last cdf must be 1.0");
+  }
+}
+
+double Ecdf::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Ecdf::quantile: p out of range");
+  }
+  if (p <= points_.front().cdf) return points_.front().value;
+  // Find first point with cdf >= p.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), p,
+      [](const Point& pt, double prob) { return pt.cdf < prob; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.cdf == lo.cdf) return hi.value;
+  const double f = (p - lo.cdf) / (hi.cdf - lo.cdf);
+  return lo.value + f * (hi.value - lo.value);
+}
+
+double Ecdf::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double Ecdf::mean() const {
+  // Piecewise-linear CDF => piecewise-uniform density; the mass between two
+  // consecutive points is (cdf_i - cdf_{i-1}) with mean (v_{i-1}+v_i)/2.
+  double m = points_.front().value * points_.front().cdf;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cdf - points_[i - 1].cdf;
+    m += mass * 0.5 * (points_[i].value + points_[i - 1].value);
+  }
+  return m;
+}
+
+double Ecdf::cdf_at(double v) const {
+  if (v < points_.front().value) return 0.0;
+  if (v >= points_.back().value) return 1.0;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), v,
+      [](const Point& pt, double value) { return pt.value < value; });
+  const auto& hi = *it;
+  if (hi.value == v) return hi.cdf;
+  const auto& lo = *(it - 1);
+  if (hi.value == lo.value) return hi.cdf;
+  const double f = (v - lo.value) / (hi.value - lo.value);
+  return lo.cdf + f * (hi.cdf - lo.cdf);
+}
+
+}  // namespace tcn::sim

@@ -1,0 +1,50 @@
+// Empirical CDF for flow-size sampling.
+//
+// Workload generators in datacenter transport papers are driven by empirical
+// flow-size CDFs (value, cumulative probability) with linear interpolation
+// between points -- this class reproduces that convention (ns-2's
+// tcl/ex/tcp-cdf and the PIAS/MQ-ECN generators).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace tcn::sim {
+
+class Ecdf {
+ public:
+  struct Point {
+    double value;  ///< e.g. flow size in bytes
+    double cdf;    ///< cumulative probability in [0, 1]
+  };
+
+  Ecdf() = default;
+  /// Points must be sorted by value with non-decreasing cdf, ending at 1.0.
+  /// Throws std::invalid_argument otherwise.
+  explicit Ecdf(std::vector<Point> points, std::string name = "");
+
+  /// Inverse-transform sample with linear interpolation between points.
+  double sample(Rng& rng) const;
+
+  /// Quantile (inverse CDF) at probability p in [0, 1].
+  double quantile(double p) const;
+
+  /// Exact mean of the interpolated distribution.
+  double mean() const;
+
+  /// CDF value at `v` (linear interpolation; 0 below first point).
+  double cdf_at(double v) const;
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+  const std::string& name() const noexcept { return name_; }
+  bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  std::vector<Point> points_;
+  std::string name_;
+};
+
+}  // namespace tcn::sim

@@ -1,0 +1,43 @@
+// Seeded random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tcn::sim {
+
+/// Thin wrapper over mt19937_64 with the distributions experiments need.
+/// Every experiment owns its own Rng so components never share hidden state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(gen_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  /// Exponential with the given mean (inter-arrival times of a Poisson
+  /// process of rate 1/mean).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace tcn::sim

@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tcn::sim {
+
+void Simulator::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], e)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(e);
+}
+
+void Simulator::push_entry(Entry e) {
+  heap_.push_back(std::move(e));
+  sift_up(heap_.size() - 1);
+}
+
+Simulator::Entry Simulator::pop_entry() {
+  Entry top = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+EventId Simulator::schedule_at(Time at, Callback cb) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const EventId id = next_id_++;
+  push_entry(Entry{at, id, std::move(cb)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazy deletion: remember the id; the heap entry is discarded when popped.
+  // Callers must not cancel an id they know has fired (all in-tree callers
+  // reset their stored EventId when the event runs); doing so is harmless
+  // but retains the id in the cancelled set.
+  return cancelled_.insert(id).second;
+}
+
+std::uint64_t Simulator::run(Time until) {
+  stopped_ = false;
+  std::uint64_t count = 0;
+  while (!heap_.empty() && !stopped_) {
+    if (heap_.front().at > until) break;
+    Entry e = pop_entry();
+    if (!cancelled_.empty()) {
+      const auto it = cancelled_.find(e.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+    }
+    assert(e.at >= now_);
+    now_ = e.at;
+    ++count;
+    ++executed_;
+    e.cb();
+  }
+  return count;
+}
+
+}  // namespace tcn::sim

@@ -1,0 +1,41 @@
+// Simulation time: integer nanoseconds.
+//
+// All of tcn uses a single signed 64-bit nanosecond clock. Integer time makes
+// event ordering exact and runs bit-reproducible; 2^63 ns is ~292 years, far
+// beyond any simulation horizon.
+#pragma once
+
+#include <cstdint>
+
+namespace tcn::sim {
+
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Largest representable time; used as "run forever".
+inline constexpr Time kTimeMax = INT64_MAX;
+
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/// Serialization delay of `bytes` on a link of `rate_bps` bits per second,
+/// rounded up so a transmission never finishes early.
+constexpr Time transmission_time(std::uint64_t bytes, std::uint64_t rate_bps) noexcept {
+  // bytes * 8 * 1e9 / rate ns; multiply before divide, with rounding up.
+  __extension__ using Wide = unsigned __int128;  // fits 2^64 * 1e9
+  const Wide bits = static_cast<Wide>(bytes) * 8;
+  const Wide num = bits * static_cast<Wide>(kSecond) +
+                   static_cast<Wide>(rate_bps) - 1;
+  return static_cast<Time>(num / static_cast<Wide>(rate_bps));
+}
+
+}  // namespace tcn::sim

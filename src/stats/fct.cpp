@@ -1,0 +1,35 @@
+#include "stats/fct.hpp"
+
+#include "stats/percentile.hpp"
+
+namespace tcn::stats {
+
+void FctCollector::add(const transport::FlowResult& r) {
+  const double us = static_cast<double>(r.fct) / sim::kMicrosecond;
+  all_us_.push_back(us);
+  timeouts_ += r.timeouts;
+  if (r.size <= kSmallFlowMax) {
+    small_us_.push_back(us);
+    small_timeouts_ += r.timeouts;
+  } else if (r.size > kLargeFlowMin) {
+    large_us_.push_back(us);
+  }
+}
+
+FctSummary FctCollector::summary() const {
+  FctSummary s;
+  s.count = all_us_.size();
+  s.timeouts = timeouts_;
+  s.small_timeouts = small_timeouts_;
+  if (!all_us_.empty()) s.avg_all_us = mean(all_us_);
+  s.small_count = small_us_.size();
+  if (!small_us_.empty()) {
+    s.avg_small_us = mean(small_us_);
+    s.p99_small_us = percentile(small_us_, 99.0);
+  }
+  s.large_count = large_us_.size();
+  if (!large_us_.empty()) s.avg_large_us = mean(large_us_);
+  return s;
+}
+
+}  // namespace tcn::stats

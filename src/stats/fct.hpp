@@ -1,0 +1,49 @@
+// Flow-completion-time statistics, bucketed the way the paper reports them:
+// all flows / small flows (0, 100KB] (average and 99th percentile) / large
+// flows (10MB, inf) -- Sec. 6 "Performance metric".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transport/flow.hpp"
+
+namespace tcn::stats {
+
+inline constexpr std::uint64_t kSmallFlowMax = 100'000;       // 100KB
+inline constexpr std::uint64_t kLargeFlowMin = 10'000'000;    // 10MB
+
+struct FctSummary {
+  std::size_t count = 0;
+  double avg_all_us = 0.0;
+  std::size_t small_count = 0;
+  double avg_small_us = 0.0;
+  double p99_small_us = 0.0;
+  std::size_t large_count = 0;
+  double avg_large_us = 0.0;
+  std::uint64_t timeouts = 0;        ///< across all completed flows
+  std::uint64_t small_timeouts = 0;  ///< timeouts suffered by small flows
+};
+
+class FctCollector {
+ public:
+  void add(const transport::FlowResult& r);
+
+  [[nodiscard]] FctSummary summary() const;
+  [[nodiscard]] std::size_t count() const noexcept { return all_us_.size(); }
+
+  /// Raw small-flow FCTs in microseconds (for external percentile analysis).
+  [[nodiscard]] const std::vector<double>& small_us() const noexcept {
+    return small_us_;
+  }
+
+ private:
+  std::vector<double> all_us_;
+  std::vector<double> small_us_;
+  std::vector<double> large_us_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t small_timeouts_ = 0;
+};
+
+}  // namespace tcn::stats

@@ -1,0 +1,33 @@
+// Percentile and summary helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tcn::stats {
+
+/// Nearest-rank percentile of an unsorted sample (p in [0, 100]). Copies and
+/// sorts; intended for end-of-run reporting, not hot paths.
+template <typename T>
+T percentile(std::vector<T> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
+  std::sort(values.begin(), values.end());
+  if (p == 0.0) return values.front();
+  const auto rank = static_cast<std::size_t>(
+      std::max<double>(1.0, std::ceil(p / 100.0 * values.size())));
+  return values[rank - 1];
+}
+
+template <typename T>
+double mean(const std::vector<T>& values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty sample");
+  double sum = 0.0;
+  for (const auto& v : values) sum += static_cast<double>(v);
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace tcn::stats

@@ -1,0 +1,23 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace tcn::stats {
+
+double GoodputMeter::average_bps(sim::Time from, sim::Time to) const {
+  if (to <= from) return 0.0;
+  std::uint64_t bytes = 0;
+  const auto first = static_cast<std::size_t>(from / bin_width_);
+  const auto last =
+      std::min<std::size_t>(bins_.size(), (to + bin_width_ - 1) / bin_width_);
+  for (std::size_t i = first; i < last; ++i) bytes += bins_[i];
+  return static_cast<double>(bytes) * 8.0 / sim::to_seconds(to - from);
+}
+
+double PeriodicSampler::max_value() const {
+  double m = 0.0;
+  for (const auto& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+}  // namespace tcn::stats

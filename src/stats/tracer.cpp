@@ -1,0 +1,46 @@
+#include "stats/tracer.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace tcn::stats {
+
+void TextTracer::on_event(const net::TraceRecord& rec) {
+  out_ << std::fixed << std::setprecision(3)
+       << static_cast<double>(rec.t) / sim::kMicrosecond << "us "
+       << net::trace_event_name(rec.event) << " " << rec.port << " q"
+       << rec.queue << " flow=" << rec.flow << " seq=" << rec.seq
+       << " size=" << rec.size << " dscp=" << static_cast<int>(rec.dscp)
+       << " qbytes=" << rec.queue_bytes << " port=" << rec.port_bytes
+       << "\n";
+}
+
+void FlowTraceSummary::on_event(const net::TraceRecord& rec) {
+  FlowStats& s = flows_[rec.flow];
+  switch (rec.event) {
+    case net::TraceEvent::kEnqueue:
+      ++s.packets;
+      s.bytes += rec.size;
+      s.peak_queue_bytes = std::max(s.peak_queue_bytes, rec.queue_bytes);
+      break;
+    case net::TraceEvent::kMark:
+      ++s.marks;
+      break;
+    case net::TraceEvent::kDrop:
+      ++s.drops;
+      break;
+    case net::TraceEvent::kDequeue:
+      break;
+  }
+}
+
+const FlowTraceSummary::FlowStats& FlowTraceSummary::flow(
+    std::uint64_t id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    throw std::out_of_range("FlowTraceSummary: unknown flow");
+  }
+  return it->second;
+}
+
+}  // namespace tcn::stats

@@ -1,0 +1,147 @@
+#include "topo/network.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tcn::topo {
+
+std::vector<net::Host*> Network::host_ptrs() {
+  std::vector<net::Host*> out;
+  out.reserve(hosts_.size());
+  for (auto& h : hosts_) out.push_back(h.get());
+  return out;
+}
+
+net::Host& Network::add_host(std::unique_ptr<net::Host> h) {
+  hosts_.push_back(std::move(h));
+  return *hosts_.back();
+}
+
+net::Switch& Network::add_switch(std::unique_ptr<net::Switch> s) {
+  switches_.push_back(std::move(s));
+  return *switches_.back();
+}
+
+sim::Time star_host_delay_for_rtt(sim::Time target, sim::Time link_prop) {
+  // RTT ~= 4 x host_delay (tx+rx stack on both hosts) + 4 x link_prop
+  // (2 links each direction), ignoring serialization.
+  const sim::Time residual = target - 4 * link_prop;
+  if (residual <= 0) {
+    throw std::invalid_argument("star_host_delay_for_rtt: target too small");
+  }
+  return residual / 4;
+}
+
+Network build_star(sim::Simulator& sim, const StarConfig& cfg,
+                   const SchedulerFactory& sched_factory,
+                   const MarkerFactory& marker_factory) {
+  if (cfg.num_hosts < 2) {
+    throw std::invalid_argument("build_star: need at least 2 hosts");
+  }
+  Network net(sim);
+  auto& sw = net.add_switch(std::make_unique<net::Switch>(sim, "sw0"));
+
+  for (std::size_t i = 0; i < cfg.num_hosts; ++i) {
+    net::PortConfig nic;
+    nic.rate_bps = cfg.link_rate_bps;
+    if (i < cfg.host_rates.size() && cfg.host_rates[i] != 0) {
+      nic.rate_bps = cfg.host_rates[i];
+    }
+    nic.prop_delay = cfg.link_prop;
+    nic.buffer_bytes = cfg.host_buffer_bytes;
+    auto& host = net.add_host(std::make_unique<net::Host>(
+        sim, "h" + std::to_string(i), static_cast<std::uint32_t>(i), nic,
+        cfg.host_delay));
+
+    net::PortConfig egress;
+    egress.rate_bps = cfg.link_rate_bps;
+    egress.prop_delay = cfg.link_prop;
+    egress.num_queues = cfg.num_queues;
+    egress.buffer_bytes = cfg.buffer_bytes;
+    egress.rate_limit_fraction = cfg.switch_rate_fraction;
+    auto sched = sched_factory();
+    auto marker = marker_factory(*sched, egress);
+    const std::size_t p =
+        sw.add_port(egress, std::move(sched), std::move(marker));
+
+    sw.connect(p, &host, 0);
+    host.connect(&sw, p);
+    sw.add_route(static_cast<std::uint32_t>(i), {p});
+  }
+  return net;
+}
+
+Network build_leaf_spine(sim::Simulator& sim, const LeafSpineConfig& cfg,
+                         const SchedulerFactory& sched_factory,
+                         const MarkerFactory& marker_factory) {
+  Network net(sim);
+  const std::size_t num_hosts = cfg.num_leaves * cfg.hosts_per_leaf;
+
+  net::PortConfig sw_port_template;
+  sw_port_template.rate_bps = cfg.link_rate_bps;
+  sw_port_template.prop_delay = cfg.link_prop;
+  sw_port_template.num_queues = cfg.num_queues;
+  sw_port_template.buffer_bytes = cfg.buffer_bytes;
+
+  auto make_port = [&](net::Switch& sw) {
+    auto sched = sched_factory();
+    auto marker = marker_factory(*sched, sw_port_template);
+    return sw.add_port(sw_port_template, std::move(sched), std::move(marker));
+  };
+
+  // Switches first (hosts connect to them).
+  std::vector<net::Switch*> leaves;
+  std::vector<net::Switch*> spines;
+  for (std::size_t l = 0; l < cfg.num_leaves; ++l) {
+    leaves.push_back(
+        &net.add_switch(std::make_unique<net::Switch>(sim, "leaf" + std::to_string(l))));
+  }
+  for (std::size_t s = 0; s < cfg.num_spines; ++s) {
+    spines.push_back(
+        &net.add_switch(std::make_unique<net::Switch>(sim, "spine" + std::to_string(s))));
+  }
+
+  // Hosts and their leaf-facing ports.
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    const std::size_t l = h / cfg.hosts_per_leaf;
+    net::PortConfig nic;
+    nic.rate_bps = cfg.link_rate_bps;
+    nic.prop_delay = cfg.link_prop;
+    nic.buffer_bytes = cfg.host_buffer_bytes;
+    auto& host = net.add_host(std::make_unique<net::Host>(
+        sim, "h" + std::to_string(h), static_cast<std::uint32_t>(h), nic,
+        cfg.host_delay));
+    const std::size_t p = make_port(*leaves[l]);
+    leaves[l]->connect(p, &host, 0);
+    host.connect(leaves[l], p);
+    // Leaf-local route: the host's own down port.
+    leaves[l]->add_route(static_cast<std::uint32_t>(h), {p});
+  }
+
+  // Leaf <-> spine fabric.
+  for (std::size_t l = 0; l < cfg.num_leaves; ++l) {
+    std::vector<std::size_t> uplinks;
+    for (std::size_t s = 0; s < cfg.num_spines; ++s) {
+      const std::size_t up = make_port(*leaves[l]);
+      const std::size_t down = make_port(*spines[s]);
+      leaves[l]->connect(up, spines[s], down);
+      spines[s]->connect(down, leaves[l], up);
+      uplinks.push_back(up);
+
+      // Spine routes to every host under this leaf via `down`.
+      for (std::size_t i = 0; i < cfg.hosts_per_leaf; ++i) {
+        const auto host_addr =
+            static_cast<std::uint32_t>(l * cfg.hosts_per_leaf + i);
+        spines[s]->add_route(host_addr, {down});
+      }
+    }
+    // Leaf routes to every remote host: ECMP across all uplinks.
+    for (std::size_t h = 0; h < num_hosts; ++h) {
+      if (h / cfg.hosts_per_leaf == l) continue;
+      leaves[l]->add_route(static_cast<std::uint32_t>(h), uplinks);
+    }
+  }
+  return net;
+}
+
+}  // namespace tcn::topo

@@ -1,0 +1,108 @@
+// Network container and the two topologies of the evaluation.
+//
+// Star: N hosts on one switch -- the 9-server testbed (Sec. 6.1) and the
+// single-switch simulation setups (Fig. 2, Fig. 3).
+//
+// Leaf-spine: 12 leaves x 12 spines x 144 hosts, non-blocking, ECMP
+// (Sec. 6.2). Every switch egress port (host-facing and fabric-facing) runs
+// the configured scheduler and marker, so ECN operates at every hop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/marker.hpp"
+#include "net/scheduler.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcn::topo {
+
+/// Creates one scheduler instance per switch port.
+using SchedulerFactory = std::function<std::unique_ptr<net::Scheduler>()>;
+
+/// Creates one marker per switch port. Receives the port's (already
+/// constructed) scheduler so schemes like MQ-ECN can hook its round state,
+/// plus the port config for link-rate-derived thresholds.
+using MarkerFactory = std::function<std::unique_ptr<net::Marker>(
+    net::Scheduler&, const net::PortConfig&)>;
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(&sim) {}
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  [[nodiscard]] net::Host& host(std::size_t i) { return *hosts_.at(i); }
+  [[nodiscard]] net::Switch& switch_at(std::size_t i) {
+    return *switches_.at(i);
+  }
+  [[nodiscard]] std::size_t num_hosts() const noexcept { return hosts_.size(); }
+  [[nodiscard]] std::size_t num_switches() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] std::vector<net::Host*> host_ptrs();
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+
+  // Builder access.
+  net::Host& add_host(std::unique_ptr<net::Host> h);
+  net::Switch& add_switch(std::unique_ptr<net::Switch> s);
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> switches_;
+};
+
+struct StarConfig {
+  std::size_t num_hosts = 9;
+  std::uint64_t link_rate_bps = 1'000'000'000;
+  std::size_t num_queues = 4;
+  std::uint64_t buffer_bytes = 96'000;  ///< shared per switch port
+  sim::Time host_delay = 61 * sim::kMicrosecond;
+  sim::Time link_prop = 1 * sim::kMicrosecond;
+  /// Sec. 5 rate limiter on switch egress (0.995 on the testbed).
+  double switch_rate_fraction = 1.0;
+  /// Host NIC/qdisc transmit queue (ns-2 style drop-tail, ~100 packets).
+  /// A finite host queue is what keeps self-bottlenecked senders from
+  /// bufferbloating their own NIC.
+  std::uint64_t host_buffer_bytes = 150'000;
+  /// Optional per-host NIC rate override (index = host). Hosts beyond the
+  /// vector (or with a 0 entry) use link_rate_bps. Models application/sender
+  /// rate limits such as the 500Mbps flow of Fig. 5a.
+  std::vector<std::uint64_t> host_rates;
+};
+
+/// Build an N-host star. Host i has address i; switch port i faces host i.
+Network build_star(sim::Simulator& sim, const StarConfig& cfg,
+                   const SchedulerFactory& sched_factory,
+                   const MarkerFactory& marker_factory);
+
+struct LeafSpineConfig {
+  std::size_t num_leaves = 12;
+  std::size_t num_spines = 12;
+  std::size_t hosts_per_leaf = 12;
+  std::uint64_t link_rate_bps = 10'000'000'000ULL;
+  std::size_t num_queues = 8;
+  std::uint64_t buffer_bytes = 300'000;  ///< shared per switch port
+  sim::Time host_delay = 20 * sim::kMicrosecond;  ///< 80us/RTT at end hosts
+  sim::Time link_prop = 650;  ///< 0.65us/link => 5.2us/RTT over 4 hops
+  /// Host NIC/qdisc transmit queue (~300 packets at 10G).
+  std::uint64_t host_buffer_bytes = 450'000;
+};
+
+/// Build the 144-host leaf-spine fabric. Host h sits under leaf
+/// h / hosts_per_leaf; uplink routing is ECMP across all spines.
+Network build_leaf_spine(sim::Simulator& sim, const LeafSpineConfig& cfg,
+                         const SchedulerFactory& sched_factory,
+                         const MarkerFactory& marker_factory);
+
+/// Host stack delay that makes a star topology's base RTT (small packets,
+/// empty queues) approximately `target`.
+sim::Time star_host_delay_for_rtt(sim::Time target, sim::Time link_prop);
+
+}  // namespace tcn::topo

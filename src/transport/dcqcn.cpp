@@ -1,0 +1,186 @@
+#include "transport/dcqcn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcn::transport {
+
+DcqcnReceiver::DcqcnReceiver(net::Host& host, std::uint16_t local_port,
+                             sim::Time cnp_interval, DeliveryCb on_deliver)
+    : host_(host),
+      local_port_(local_port),
+      cnp_interval_(cnp_interval),
+      on_deliver_(std::move(on_deliver)) {
+  host_.bind(local_port_, [this](net::PacketPtr p) { on_data(std::move(p)); });
+}
+
+DcqcnReceiver::~DcqcnReceiver() { host_.unbind(local_port_); }
+
+void DcqcnReceiver::on_data(net::PacketPtr p) {
+  if (p->type != net::PacketType::kData) return;
+  bytes_ += p->payload;
+  if (on_deliver_) on_deliver_(p->payload, host_.simulator().now());
+
+  // NP algorithm: at most one CNP per interval while CE arrives.
+  if (p->ce()) {
+    const sim::Time now = host_.simulator().now();
+    if (last_cnp_ < 0 || now - last_cnp_ >= cnp_interval_) {
+      last_cnp_ = now;
+      ++cnps_;
+      auto cnp = net::make_packet();
+      cnp->type = net::PacketType::kCnp;
+      cnp->dst = p->src;
+      cnp->sport = local_port_;
+      cnp->dport = p->sport;
+      cnp->flow = p->flow;
+      cnp->size = net::kHeaderBytes;
+      cnp->ecn = net::Ecn::kNotEct;
+      cnp->dscp = 0;  // CNPs ride the highest-priority queue (Sec. 2.2)
+      host_.send(std::move(cnp));
+    }
+  }
+}
+
+DcqcnSender::DcqcnSender(net::Host& host, std::uint32_t dst,
+                         std::uint16_t sport, std::uint16_t dport,
+                         std::uint64_t flow_id, DcqcnConfig cfg,
+                         std::uint8_t dscp, CompletionCb on_complete)
+    : host_(host),
+      sim_(host.simulator()),
+      dst_(dst),
+      sport_(sport),
+      dport_(dport),
+      flow_id_(flow_id),
+      cfg_(cfg),
+      dscp_(dscp),
+      on_complete_(std::move(on_complete)),
+      rc_(cfg.initial_rate_bps > 0 ? cfg.initial_rate_bps
+                                   : cfg.line_rate_bps),
+      rt_(rc_) {
+  if (cfg_.line_rate_bps <= 0 || cfg_.min_rate_bps <= 0 ||
+      cfg_.min_rate_bps > cfg_.line_rate_bps) {
+    throw std::invalid_argument("DcqcnSender: bad rates");
+  }
+  host_.bind(sport_, [this](net::PacketPtr p) { on_cnp(std::move(p)); });
+}
+
+DcqcnSender::~DcqcnSender() {
+  stop();
+  host_.unbind(sport_);
+}
+
+void DcqcnSender::start(std::uint64_t size) {
+  if (running_) throw std::logic_error("DcqcnSender::start called twice");
+  running_ = true;
+  size_ = size;
+  start_time_ = sim_.now();
+  alpha_event_ = sim_.schedule_in(cfg_.alpha_timer, [this] { on_alpha_timer(); });
+  rate_event_ = sim_.schedule_in(cfg_.rate_timer, [this] { on_rate_timer(); });
+  send_next();
+}
+
+void DcqcnSender::stop() {
+  running_ = false;
+  for (auto* ev : {&pace_event_, &alpha_event_, &rate_event_}) {
+    if (*ev != sim::kInvalidEvent) {
+      sim_.cancel(*ev);
+      *ev = sim::kInvalidEvent;
+    }
+  }
+}
+
+void DcqcnSender::send_next() {
+  pace_event_ = sim::kInvalidEvent;
+  if (!running_) return;
+  if (size_ > 0 && sent_ >= size_) {
+    if (!completed_) {
+      completed_ = true;
+      const sim::Time fct = sim_.now() - start_time_;
+      stop();  // cancel the alpha/rate timers so the event queue drains
+      if (on_complete_) on_complete_(fct);
+    }
+    return;
+  }
+  const std::uint32_t payload = static_cast<std::uint32_t>(
+      size_ > 0 ? std::min<std::uint64_t>(cfg_.mtu, size_ - sent_) : cfg_.mtu);
+  auto p = net::make_packet();
+  p->type = net::PacketType::kData;
+  p->dst = dst_;
+  p->sport = sport_;
+  p->dport = dport_;
+  p->flow = flow_id_;
+  p->payload = payload;
+  p->size = payload + net::kHeaderBytes;
+  p->ecn = net::Ecn::kEct0;
+  p->dscp = dscp_;
+  const std::uint32_t wire_size = p->size;
+  host_.send(std::move(p));
+  sent_ += payload;
+  bytes_since_event_ += payload;
+
+  // Byte-counter increase events (BC in the paper).
+  if (bytes_since_event_ >= cfg_.byte_counter) {
+    bytes_since_event_ = 0;
+    ++byte_events_;
+    increase_event();
+  }
+
+  // Pace the next packet at the current rate.
+  const double gap_s = static_cast<double>(wire_size) * 8.0 / rc_;
+  pace_event_ = sim_.schedule_in(
+      std::max<sim::Time>(1, sim::from_seconds(gap_s)),
+      [this] { send_next(); });
+}
+
+void DcqcnSender::on_cnp(net::PacketPtr p) {
+  if (p->type != net::PacketType::kCnp || !running_) return;
+  ++cnps_;
+  cnp_since_alpha_timer_ = true;
+  rate_decrease();
+}
+
+void DcqcnSender::rate_decrease() {
+  // RP cut: remember target, cut multiplicatively, restart recovery stages.
+  rt_ = rc_;
+  rc_ = std::max(cfg_.min_rate_bps, rc_ * (1.0 - alpha_ / 2.0));
+  alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g;
+  timer_events_ = 0;
+  byte_events_ = 0;
+  bytes_since_event_ = 0;
+}
+
+void DcqcnSender::increase_event() {
+  // Stage is governed by the *minimum* of the two event counters reaching F
+  // (fast recovery), then additive, then hyper increase.
+  const std::uint32_t stage = std::min(timer_events_, byte_events_);
+  if (std::max(timer_events_, byte_events_) <= cfg_.fast_recovery_events) {
+    // Fast recovery: halve the gap to the target rate.
+  } else if (stage <= cfg_.fast_recovery_events) {
+    rt_ += cfg_.rai_bps;  // additive increase
+  } else {
+    rt_ += cfg_.rhai_bps *
+           static_cast<double>(stage - cfg_.fast_recovery_events);
+  }
+  rt_ = std::min(rt_, cfg_.line_rate_bps);
+  rc_ = std::min(cfg_.line_rate_bps, (rt_ + rc_) / 2.0);
+}
+
+void DcqcnSender::on_alpha_timer() {
+  alpha_event_ = sim::kInvalidEvent;
+  if (!running_) return;
+  alpha_event_ = sim_.schedule_in(cfg_.alpha_timer, [this] { on_alpha_timer(); });
+  if (!cnp_since_alpha_timer_) {
+    alpha_ *= (1.0 - cfg_.g);
+  }
+  cnp_since_alpha_timer_ = false;
+}
+
+void DcqcnSender::on_rate_timer() {
+  rate_event_ = sim::kInvalidEvent;
+  if (!running_) return;
+  rate_event_ = sim_.schedule_in(cfg_.rate_timer, [this] { on_rate_timer(); });
+  ++timer_events_;
+  increase_event();
+}
+
+}  // namespace tcn::transport

@@ -1,0 +1,76 @@
+// Flow lifecycle management: wires a TcpSender/TcpSink pair between two
+// hosts, owns them, and collects completion records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "transport/tcp.hpp"
+#include "transport/tcp_sender.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace tcn::transport {
+
+struct FlowResult {
+  std::uint64_t flow_id = 0;
+  std::uint64_t size = 0;
+  std::uint32_t service = 0;
+  sim::Time start = 0;
+  sim::Time fct = 0;
+  std::uint32_t timeouts = 0;
+};
+
+struct FlowSpec {
+  std::uint64_t size = 0;
+  std::uint32_t service = 0;  ///< carried into the FlowResult
+  TcpConfig tcp;
+  DscpFn data_dscp;            ///< default: constant 0
+  std::uint8_t ack_dscp = 0;
+  TcpSink::DeliveryCb on_deliver;  ///< optional goodput hook
+  /// Optional per-flow completion hook, fired in addition to the owning
+  /// FlowManager/ConnectionPool callback.
+  std::function<void(const struct FlowResult&)> on_complete;
+};
+
+/// Owns all senders/sinks of an experiment; records every completion.
+class FlowManager {
+ public:
+  using CompletionCb = std::function<void(const FlowResult&)>;
+
+  explicit FlowManager(CompletionCb on_complete = nullptr)
+      : on_complete_(std::move(on_complete)) {}
+
+  /// Start a flow from `src` to `dst` now. Returns the flow id.
+  std::uint64_t start_flow(net::Host& src, net::Host& dst, FlowSpec spec);
+
+  [[nodiscard]] const std::vector<FlowResult>& results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] std::size_t flows_started() const noexcept {
+    return flows_started_;
+  }
+  [[nodiscard]] std::size_t flows_completed() const noexcept {
+    return results_.size();
+  }
+  [[nodiscard]] std::uint64_t total_timeouts() const noexcept;
+
+  /// Live sender access (static-flow experiments inspect cwnd etc.).
+  [[nodiscard]] TcpSender* sender(std::uint64_t flow_id);
+
+ private:
+  struct Entry {
+    std::unique_ptr<TcpSink> sink;
+    std::unique_ptr<TcpSender> sender;
+  };
+
+  CompletionCb on_complete_;
+  std::uint64_t next_flow_id_ = 1;
+  std::size_t flows_started_ = 0;
+  std::vector<std::unique_ptr<Entry>> flows_;  // index = flow_id - 1
+  std::vector<FlowResult> results_;
+};
+
+}  // namespace tcn::transport

@@ -1,0 +1,70 @@
+#include "transport/ping.hpp"
+
+namespace tcn::transport {
+
+PingResponder::PingResponder(net::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  host_.bind(port_, [this](net::PacketPtr p) {
+    if (p->type != net::PacketType::kPing) return;
+    auto pong = net::make_packet();
+    pong->type = net::PacketType::kPong;
+    pong->dst = p->src;
+    pong->sport = port_;
+    pong->dport = p->sport;
+    pong->size = p->size;
+    pong->dscp = p->dscp;
+    pong->sent_ts = p->sent_ts;  // carry the original timestamp back
+    host_.send(std::move(pong));
+  });
+}
+
+PingResponder::~PingResponder() { host_.unbind(port_); }
+
+PingApp::PingApp(net::Host& host, std::uint32_t dst, std::uint16_t dst_port,
+                 std::uint8_t dscp, sim::Time interval,
+                 std::uint32_t size_bytes)
+    : host_(host),
+      sim_(host.simulator()),
+      dst_(dst),
+      dst_port_(dst_port),
+      local_port_(host.allocate_port()),
+      dscp_(dscp),
+      interval_(interval),
+      size_(size_bytes) {
+  host_.bind(local_port_, [this](net::PacketPtr p) {
+    if (p->type != net::PacketType::kPong) return;
+    rtts_.push_back(sim_.now() - p->sent_ts);
+  });
+}
+
+PingApp::~PingApp() {
+  stop();
+  host_.unbind(local_port_);
+}
+
+void PingApp::start() {
+  if (timer_ == sim::kInvalidEvent) send_probe();
+}
+
+void PingApp::stop() {
+  if (timer_ != sim::kInvalidEvent) {
+    sim_.cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+}
+
+void PingApp::send_probe() {
+  auto p = net::make_packet();
+  p->type = net::PacketType::kPing;
+  p->dst = dst_;
+  p->sport = local_port_;
+  p->dport = dst_port_;
+  p->size = size_;
+  p->dscp = dscp_;
+  p->sent_ts = sim_.now();
+  ++sent_;
+  host_.send(std::move(p));
+  timer_ = sim_.schedule_in(interval_, [this]() { send_probe(); });
+}
+
+}  // namespace tcn::transport

@@ -1,0 +1,62 @@
+// Ping probe: periodic small request/response packets measuring RTT through
+// the network, reproducing the testbed's RTT measurement of Fig. 5b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::transport {
+
+/// Echo service: rebinds every kPing packet back to its source as kPong.
+class PingResponder {
+ public:
+  PingResponder(net::Host& host, std::uint16_t port);
+  ~PingResponder();
+
+  PingResponder(const PingResponder&) = delete;
+  PingResponder& operator=(const PingResponder&) = delete;
+
+ private:
+  net::Host& host_;
+  std::uint16_t port_;
+};
+
+class PingApp {
+ public:
+  /// Sends `size_bytes` probes to `dst`:`dst_port` (a PingResponder) every
+  /// `interval`, tagged with `dscp` so they traverse a chosen switch queue.
+  PingApp(net::Host& host, std::uint32_t dst, std::uint16_t dst_port,
+          std::uint8_t dscp, sim::Time interval, std::uint32_t size_bytes = 64);
+  ~PingApp();
+
+  PingApp(const PingApp&) = delete;
+  PingApp& operator=(const PingApp&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<sim::Time>& rtts() const noexcept {
+    return rtts_;
+  }
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void send_probe();
+
+  net::Host& host_;
+  sim::Simulator& sim_;
+  std::uint32_t dst_;
+  std::uint16_t dst_port_;
+  std::uint16_t local_port_;
+  std::uint8_t dscp_;
+  sim::Time interval_;
+  std::uint32_t size_;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  std::uint64_t sent_ = 0;
+  std::vector<sim::Time> rtts_;
+};
+
+}  // namespace tcn::transport

@@ -1,0 +1,53 @@
+// Common TCP types shared by sender and sink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::transport {
+
+/// Congestion-control reaction to ECN echoes.
+enum class CongestionControl {
+  /// ECN* (Wu et al., CoNEXT 2012): regular ECN-enabled TCP -- halve the
+  /// window at most once per RTT when an echo arrives. More sensitive to
+  /// premature marks than DCTCP (Sec. 6.2.2).
+  kEcnStar,
+  /// DCTCP (Alizadeh et al., SIGCOMM 2010): scale the cut by the EWMA
+  /// fraction alpha of marked bytes: cwnd *= 1 - alpha/2.
+  kDctcp,
+};
+
+struct TcpConfig {
+  std::uint32_t mss = net::kDefaultMss;
+  std::uint32_t init_cwnd_pkts = 10;
+  sim::Time rto_min = 10 * sim::kMillisecond;
+  sim::Time rto_init = 10 * sim::kMillisecond;
+  sim::Time rto_max = 2 * sim::kSecond;
+  CongestionControl cc = CongestionControl::kDctcp;
+  double dctcp_g = 1.0 / 16.0;  ///< alpha gain
+  std::uint32_t dupack_threshold = 3;
+  /// Receive-window style cap on cwnd; defaults to effectively unlimited.
+  std::uint64_t max_cwnd_bytes = UINT64_MAX;
+  /// Selective acknowledgments: the sink advertises out-of-order blocks and
+  /// the sender retransmits holes instead of blindly resending from snd_una
+  /// (recovers multi-loss windows without an RTO).
+  bool sack = false;
+  /// Delayed ACKs: acknowledge every second in-order segment (or after
+  /// `delayed_ack_timeout`). ACKs are still sent immediately whenever the
+  /// CE state changes, preserving DCTCP's accurate ECN echo.
+  bool delayed_ack = false;
+  sim::Time delayed_ack_timeout = 1 * sim::kMillisecond;
+};
+
+/// Per-packet DSCP choice as a function of the byte offset being sent --
+/// constant for service isolation, threshold-based for PIAS.
+using DscpFn = std::function<std::uint8_t(std::uint64_t byte_offset)>;
+
+inline DscpFn constant_dscp(std::uint8_t dscp) {
+  return [dscp](std::uint64_t) { return dscp; };
+}
+
+}  // namespace tcn::transport

@@ -1,0 +1,145 @@
+// Property sweep over every marking scheme, driven through a real egress
+// port. Invariants that must hold for any congestion-notification AQM:
+//   1. an uncongested queue produces zero marks;
+//   2. sustained overload produces marks;
+//   3. only ECT packets ever leave with CE;
+//   4. marks stop once congestion clears (no sticky state leaks).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/schemes.hpp"
+#include "net/port.hpp"
+#include "sched/dwrr.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace tcn::aqm {
+namespace {
+
+using test::CaptureNode;
+using test::make_test_packet;
+
+struct MarkerCase {
+  const char* name;
+  core::Scheme scheme;
+};
+
+class MarkerPropertyTest : public ::testing::TestWithParam<MarkerCase> {
+ protected:
+  // 1G port, 2 DWRR queues, markers configured for base RTT 100us.
+  void build() {
+    core::SchemeParams params;
+    params.rtt_lambda = 100 * sim::kMicrosecond;
+    params.red_threshold_bytes = 12'500;  // 1G x 100us
+    params.codel_target = 50 * sim::kMicrosecond;
+    params.codel_interval = 1'000 * sim::kMicrosecond;
+    params.tcn_tmin = 50 * sim::kMicrosecond;
+    params.tcn_tmax = 150 * sim::kMicrosecond;
+    params.tcn_pmax = 1.0;
+    params.oracle_thresholds = {6'250, 6'250};
+    params.dq_thresh = 10'000;
+
+    auto sched = std::make_unique<sched::DwrrScheduler>(
+        std::vector<std::uint64_t>{1'500, 1'500});
+    net::PortConfig cfg;
+    cfg.rate_bps = 1'000'000'000;
+    cfg.num_queues = 2;
+    auto marker = core::make_marker_factory(GetParam().scheme, params)(
+        *sched, cfg);
+    port = std::make_unique<net::Port>(sim, "p", cfg, std::move(sched),
+                                       std::move(marker));
+    port->connect(&sink, 0);
+  }
+
+  std::size_t marked_delivered() const {
+    std::size_t n = 0;
+    for (const auto& p : sink.packets) {
+      if (p->ce()) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim;
+  CaptureNode sink;
+  std::unique_ptr<net::Port> port;
+};
+
+TEST_P(MarkerPropertyTest, NoMarksWithoutCongestion) {
+  build();
+  // One packet every 100us on a 1G link (12us serialization): queue is
+  // always empty on arrival.
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(i * 100 * sim::kMicrosecond, [this, i] {
+      port->enqueue(make_test_packet(1500, 0, 0), i % 2);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(port->counters().marks, 0u);
+  EXPECT_EQ(marked_delivered(), 0u);
+}
+
+TEST_P(MarkerPropertyTest, SustainedOverloadProducesMarks) {
+  build();
+  // 400 packets dumped at t=0 into both queues: 600KB on a 1G link is 4.8ms
+  // of sustained >100us queueing -- every scheme must signal.
+  for (int i = 0; i < 400; ++i) {
+    port->enqueue(make_test_packet(1500, 0, 0), i % 2);
+  }
+  sim.run();
+  EXPECT_GT(port->counters().marks, 0u) << GetParam().name;
+}
+
+TEST_P(MarkerPropertyTest, OnlyEctPacketsGetCe) {
+  build();
+  for (int i = 0; i < 400; ++i) {
+    const auto ecn = (i % 2 == 0) ? net::Ecn::kEct0 : net::Ecn::kNotEct;
+    port->enqueue(make_test_packet(1500, 0, i % 2, ecn), i % 2);
+  }
+  sim.run();
+  for (const auto& p : sink.packets) {
+    if (p->flow % 2 == 1) {  // the NotEct half
+      EXPECT_FALSE(p->ce());
+    }
+  }
+}
+
+TEST_P(MarkerPropertyTest, MarksStopWhenCongestionClears) {
+  build();
+  // Phase 1: overload.
+  for (int i = 0; i < 400; ++i) {
+    port->enqueue(make_test_packet(1500, 0, 0), i % 2);
+  }
+  sim.run();
+  // Phase 2: long quiet gap, then gentle traffic -- no marks allowed.
+  const auto phase2 = sim.now() + 100 * sim::kMillisecond;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(phase2 + i * 200 * sim::kMicrosecond, [this, i] {
+      port->enqueue(make_test_packet(1500, 0, 1, net::Ecn::kEct0), i % 2);
+    });
+  }
+  sink.packets.clear();
+  sim.run();
+  EXPECT_EQ(marked_delivered(), 0u) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, MarkerPropertyTest,
+    ::testing::Values(MarkerCase{"tcn", core::Scheme::kTcn},
+                      MarkerCase{"tcn_prob", core::Scheme::kTcnProb},
+                      MarkerCase{"codel", core::Scheme::kCodel},
+                      MarkerCase{"mq_ecn", core::Scheme::kMqEcn},
+                      MarkerCase{"red_queue", core::Scheme::kRedPerQueue},
+                      MarkerCase{"red_port", core::Scheme::kRedPerPort},
+                      MarkerCase{"red_dequeue", core::Scheme::kRedDequeue},
+                      MarkerCase{"pie", core::Scheme::kPie},
+                      MarkerCase{"ideal_rate", core::Scheme::kIdealRate},
+                      MarkerCase{"ideal_oracle", core::Scheme::kIdealOracle}),
+    [](const ::testing::TestParamInfo<MarkerCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace tcn::aqm

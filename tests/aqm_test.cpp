@@ -1,0 +1,361 @@
+// AQM tests: TCN marking semantics, probabilistic TCN, RED variants
+// (per-queue/per-port/dequeue), CoDel control law, MQ-ECN dynamic threshold,
+// Algorithm-1 departure-rate estimator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aqm/codel.hpp"
+#include "aqm/mq_ecn.hpp"
+#include "aqm/rate_estimator.hpp"
+#include "aqm/red_ecn.hpp"
+#include "aqm/tcn.hpp"
+#include "net/marker.hpp"
+#include "net/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace tcn::aqm {
+namespace {
+
+using test::make_test_packet;
+
+net::MarkContext ctx_at(sim::Time now, std::uint64_t queue_bytes = 0,
+                        std::uint64_t port_bytes = 0, std::size_t queue = 0) {
+  return net::MarkContext{.now = now,
+                          .queue = queue,
+                          .queue_bytes = queue_bytes,
+                          .port_bytes = port_bytes,
+                          .link_rate_bps = 1'000'000'000};
+}
+
+// ---------------------------------------------------------------- TCN -----
+
+TEST(Tcn, MarksExactlyWhenSojournExceedsThreshold) {
+  TcnMarker tcn(100 * sim::kMicrosecond);
+  auto p = make_test_packet(1500);
+  p->enqueue_ts = 0;
+  EXPECT_FALSE(tcn.on_dequeue(ctx_at(100 * sim::kMicrosecond), *p));  // == T
+  EXPECT_TRUE(tcn.on_dequeue(ctx_at(100 * sim::kMicrosecond + 1), *p));
+  EXPECT_FALSE(tcn.on_dequeue(ctx_at(50 * sim::kMicrosecond), *p));
+}
+
+TEST(Tcn, NeverMarksAtEnqueue) {
+  TcnMarker tcn(1);
+  auto p = make_test_packet(1500);
+  EXPECT_FALSE(tcn.on_enqueue(ctx_at(sim::kSecond, 1'000'000), *p));
+}
+
+TEST(Tcn, IndependentOfQueueLength) {
+  // The decision must ignore occupancy entirely -- that is the point.
+  TcnMarker tcn(10 * sim::kMicrosecond);
+  auto p = make_test_packet(1500);
+  p->enqueue_ts = 0;
+  EXPECT_TRUE(tcn.on_dequeue(ctx_at(11 * sim::kMicrosecond, 0, 0), *p));
+  EXPECT_FALSE(
+      tcn.on_dequeue(ctx_at(9 * sim::kMicrosecond, 1 << 30, 1 << 30), *p));
+}
+
+TEST(Tcn, RejectsNonPositiveThreshold) {
+  EXPECT_THROW(TcnMarker(0), std::invalid_argument);
+  EXPECT_THROW(TcnMarker(-5), std::invalid_argument);
+}
+
+TEST(TcnProb, DeterministicRegions) {
+  TcnProbabilisticMarker m(100, 200, 0.8);
+  EXPECT_DOUBLE_EQ(m.probability(50), 0.0);
+  EXPECT_DOUBLE_EQ(m.probability(100), 0.0);
+  EXPECT_DOUBLE_EQ(m.probability(150), 0.4);
+  EXPECT_DOUBLE_EQ(m.probability(200), 0.8);
+  EXPECT_DOUBLE_EQ(m.probability(201), 1.0);
+}
+
+TEST(TcnProb, ProbabilityIsMonotone) {
+  TcnProbabilisticMarker m(1'000, 9'000, 1.0);
+  double prev = -1.0;
+  for (sim::Time t = 0; t <= 10'000; t += 100) {
+    const double p = m.probability(t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TcnProb, EmpiricalMarkingRateMatchesProbability) {
+  TcnProbabilisticMarker m(0, 1'000, 1.0, /*seed=*/7);
+  auto p = make_test_packet(1500);
+  p->enqueue_ts = 0;
+  int marked = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (m.on_dequeue(ctx_at(250), *p)) ++marked;  // probability 0.25
+  }
+  EXPECT_NEAR(static_cast<double>(marked) / n, 0.25, 0.02);
+}
+
+TEST(TcnProb, RejectsBadParameters) {
+  EXPECT_THROW(TcnProbabilisticMarker(200, 100, 0.5), std::invalid_argument);
+  EXPECT_THROW(TcnProbabilisticMarker(0, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(TcnProbabilisticMarker(0, 100, 1.5), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- RED -----
+
+TEST(RedEcn, PerQueueEnqueueMarking) {
+  RedEcnMarker red(30'000, RedScope::kPerQueue);
+  auto p = make_test_packet(1500);
+  EXPECT_FALSE(red.on_enqueue(ctx_at(0, 30'000, 90'000), *p));
+  EXPECT_TRUE(red.on_enqueue(ctx_at(0, 30'001, 30'001), *p));
+  EXPECT_FALSE(red.on_dequeue(ctx_at(0, 90'000, 90'000), *p));  // wrong side
+}
+
+TEST(RedEcn, PerPortUsesAggregateOccupancy) {
+  RedEcnMarker red(30'000, RedScope::kPerPort);
+  auto p = make_test_packet(1500);
+  // Queue itself is tiny but the port is congested: marks anyway -- the
+  // policy violation of Sec. 3.2.2.
+  EXPECT_TRUE(red.on_enqueue(ctx_at(0, 1'500, 64'000), *p));
+  EXPECT_FALSE(red.on_enqueue(ctx_at(0, 29'000, 29'000), *p));
+}
+
+TEST(RedEcn, DequeueVariantMarksOnlyAtDequeue) {
+  RedEcnMarker red(30'000, RedScope::kPerQueue, RedSide::kDequeue);
+  auto p = make_test_packet(1500);
+  EXPECT_FALSE(red.on_enqueue(ctx_at(0, 90'000, 90'000), *p));
+  EXPECT_TRUE(red.on_dequeue(ctx_at(0, 90'000, 90'000), *p));
+}
+
+TEST(RedEcn, OraclePerQueueThresholds) {
+  RedEcnMarker red(std::vector<std::uint64_t>{8'000, 32'000});
+  auto p = make_test_packet(1500);
+  EXPECT_TRUE(red.on_enqueue(ctx_at(0, 9'000, 9'000, /*queue=*/0), *p));
+  EXPECT_FALSE(red.on_enqueue(ctx_at(0, 9'000, 9'000, /*queue=*/1), *p));
+  EXPECT_TRUE(red.on_enqueue(ctx_at(0, 33'000, 33'000, /*queue=*/1), *p));
+}
+
+TEST(RedEcn, RejectsBadConfig) {
+  EXPECT_THROW(RedEcnMarker(0, RedScope::kPerQueue), std::invalid_argument);
+  EXPECT_THROW(RedEcnMarker(std::vector<std::uint64_t>{}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- CoDel -----
+
+TEST(Codel, NoMarkingBelowTarget) {
+  CodelMarker codel(50 * sim::kMicrosecond, 1'000 * sim::kMicrosecond);
+  auto p = make_test_packet(1500);
+  for (int i = 0; i < 100; ++i) {
+    p->enqueue_ts = i * 100 * sim::kMicrosecond;
+    const auto now = p->enqueue_ts + 40 * sim::kMicrosecond;  // below target
+    EXPECT_FALSE(codel.on_dequeue(ctx_at(now, 10'000), *p));
+  }
+}
+
+TEST(Codel, MarksOnlyAfterIntervalOfPersistentDelay) {
+  const sim::Time target = 50 * sim::kMicrosecond;
+  const sim::Time interval = 1'000 * sim::kMicrosecond;
+  CodelMarker codel(target, interval);
+  auto p = make_test_packet(1500);
+  // Sojourn continuously above target; first mark must not occur before one
+  // full interval has elapsed.
+  bool marked = false;
+  sim::Time first_mark = 0;
+  for (sim::Time now = 0; now <= 3'000 * sim::kMicrosecond && !marked;
+       now += 10 * sim::kMicrosecond) {
+    p->enqueue_ts = now - 100 * sim::kMicrosecond;  // sojourn = 100us
+    if (codel.on_dequeue(ctx_at(now, 10'000), *p)) {
+      marked = true;
+      first_mark = now;
+    }
+  }
+  ASSERT_TRUE(marked);
+  EXPECT_GE(first_mark, interval);
+  EXPECT_LE(first_mark, interval + 20 * sim::kMicrosecond);
+}
+
+TEST(Codel, MarkingRateRampsUpWithSqrtLaw) {
+  const sim::Time target = 50 * sim::kMicrosecond;
+  const sim::Time interval = 1'000 * sim::kMicrosecond;
+  CodelMarker codel(target, interval);
+  auto p = make_test_packet(1500);
+  std::vector<sim::Time> marks;
+  for (sim::Time now = 0; now <= 10'000 * sim::kMicrosecond;
+       now += 10 * sim::kMicrosecond) {
+    p->enqueue_ts = now - 100 * sim::kMicrosecond;
+    if (codel.on_dequeue(ctx_at(now, 10'000), *p)) marks.push_back(now);
+  }
+  ASSERT_GE(marks.size(), 4u);
+  // Gaps between consecutive marks shrink (interval/sqrt(count)).
+  for (std::size_t i = 2; i + 1 < marks.size(); ++i) {
+    EXPECT_LE(marks[i + 1] - marks[i], marks[i] - marks[i - 1] + 1);
+  }
+}
+
+TEST(Codel, LeavesDroppingStateWhenDelaySubsides) {
+  const sim::Time target = 50 * sim::kMicrosecond;
+  const sim::Time interval = 1'000 * sim::kMicrosecond;
+  CodelMarker codel(target, interval);
+  auto p = make_test_packet(1500);
+  // Drive into the marking state.
+  bool marked = false;
+  sim::Time now = 0;
+  for (; now <= 3'000 * sim::kMicrosecond && !marked;
+       now += 10 * sim::kMicrosecond) {
+    p->enqueue_ts = now - 100 * sim::kMicrosecond;
+    marked |= codel.on_dequeue(ctx_at(now, 10'000), *p);
+  }
+  ASSERT_TRUE(marked);
+  EXPECT_TRUE(codel.state(0).dropping);
+  // One dequeue below target exits the state.
+  p->enqueue_ts = now - 10 * sim::kMicrosecond;
+  EXPECT_FALSE(codel.on_dequeue(ctx_at(now, 10'000), *p));
+  EXPECT_FALSE(codel.state(0).dropping);
+}
+
+TEST(Codel, TracksQueuesIndependently) {
+  CodelMarker codel(50 * sim::kMicrosecond, 1'000 * sim::kMicrosecond);
+  auto p = make_test_packet(1500);
+  // Queue 3 suffers delay; queue 0 does not. Only queue 3's state advances.
+  for (sim::Time now = 0; now <= 2'000 * sim::kMicrosecond;
+       now += 10 * sim::kMicrosecond) {
+    p->enqueue_ts = now - 100 * sim::kMicrosecond;
+    codel.on_dequeue(ctx_at(now, 10'000, 10'000, /*queue=*/3), *p);
+  }
+  EXPECT_TRUE(codel.state(3).dropping);
+  p->enqueue_ts = 0;
+  EXPECT_FALSE(
+      codel.on_dequeue(ctx_at(10 * sim::kMicrosecond, 10'000, 10'000, 0), *p));
+  EXPECT_FALSE(codel.state(0).dropping);
+}
+
+// ------------------------------------------------------------- MQ-ECN -----
+
+/// Fixed-rate provider for isolation testing.
+class FakeProvider final : public net::RoundRateProvider {
+ public:
+  explicit FakeProvider(double bps) : bps_(bps) {}
+  double queue_rate_bps(std::size_t, sim::Time) const override { return bps_; }
+  double bps_;
+};
+
+TEST(MqEcn, ThresholdScalesWithEstimatedRate) {
+  FakeProvider provider(1e9);
+  MqEcnMarker mq(&provider, 100 * sim::kMicrosecond);
+  // 1Gbps x 100us = 12.5KB.
+  EXPECT_EQ(mq.threshold_bytes(0, 0), 12'500u);
+  provider.bps_ = 5e8;
+  EXPECT_EQ(mq.threshold_bytes(0, 0), 6'250u);
+}
+
+TEST(MqEcn, MarksAboveDynamicThreshold) {
+  FakeProvider provider(5e8);
+  MqEcnMarker mq(&provider, 100 * sim::kMicrosecond);
+  auto p = make_test_packet(1500);
+  EXPECT_FALSE(mq.on_enqueue(ctx_at(0, 6'250), *p));
+  EXPECT_TRUE(mq.on_enqueue(ctx_at(0, 6'251), *p));
+}
+
+TEST(MqEcn, RequiresProvider) {
+  EXPECT_THROW(MqEcnMarker(nullptr, 100), std::invalid_argument);
+}
+
+// ----------------------------------------------- Rate estimator (Alg 1) ---
+
+TEST(RateEstimator, MeasuresConstantDrainExactly) {
+  DepartureRateEstimator est(10'000, /*w=*/0.875);
+  // 1500B departures every 12us (1Gbps), always-deep queue.
+  sim::Time now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 12 * sim::kMicrosecond;
+    est.on_departure(now, 1500, /*qlen=*/50'000);
+  }
+  ASSERT_TRUE(est.has_estimate());
+  // 1Gbps = 125e6 B/s.
+  EXPECT_NEAR(est.avg_rate_Bps(), 125e6, 2e6);
+}
+
+TEST(RateEstimator, NoCycleWithoutBacklog) {
+  DepartureRateEstimator est(10'000);
+  sim::Time now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 12 * sim::kMicrosecond;
+    est.on_departure(now, 1500, /*qlen=*/500);  // below dq_thresh
+  }
+  EXPECT_FALSE(est.has_estimate());
+}
+
+TEST(RateEstimator, SmoothsTowardsNewRate) {
+  DepartureRateEstimator est(10'000, 0.875);
+  sim::Time now = 0;
+  // Phase 1: 1Gbps.
+  for (int i = 0; i < 50; ++i) {
+    now += 12 * sim::kMicrosecond;
+    est.on_departure(now, 1500, 50'000);
+  }
+  const double before = est.avg_rate_Bps();
+  // Phase 2: drain slows to 500Mbps (24us per packet).
+  for (int i = 0; i < 200; ++i) {
+    now += 24 * sim::kMicrosecond;
+    est.on_departure(now, 1500, 50'000);
+  }
+  const double after = est.avg_rate_Bps();
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(after, 62.5e6, 3e6);
+}
+
+TEST(RateEstimator, CoarseDqThreshYieldsFewSamples) {
+  // The Fig. 2 tradeoff: with dq_thresh = 40KB a 2ms busy period at 1Gbps
+  // (250KB) yields only ~6 samples.
+  DepartureRateEstimator est(40'000);
+  int samples = 0;
+  sim::Time now = 0;
+  for (int i = 0; i < 166; ++i) {  // ~250KB of departures
+    now += 12 * sim::kMicrosecond;
+    if (est.on_departure(now, 1500, 60'000)) ++samples;
+  }
+  EXPECT_GE(samples, 4);
+  EXPECT_LE(samples, 7);
+}
+
+TEST(RateEstimator, RejectsBadConfig) {
+  EXPECT_THROW(DepartureRateEstimator(0), std::invalid_argument);
+  EXPECT_THROW(DepartureRateEstimator(10'000, 1.0), std::invalid_argument);
+}
+
+TEST(IdealRed, FallsBackToLinkRateBeforeFirstSample) {
+  IdealRedMarker ideal(2, 10'000, 100 * sim::kMicrosecond);
+  // 1Gbps x 100us = 12.5KB standard threshold.
+  EXPECT_EQ(ideal.threshold_bytes(0, 1'000'000'000), 12'500u);
+}
+
+TEST(IdealRed, ThresholdTracksMeasuredRate) {
+  IdealRedMarker ideal(1, 10'000, 100 * sim::kMicrosecond);
+  auto p = make_test_packet(1500);
+  sim::Time now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 24 * sim::kMicrosecond;  // 500Mbps drain
+    ideal.on_dequeue(ctx_at(now, 50'000), *p);
+  }
+  // Threshold ~= 62.5e6 B/s * 100us = 6.25KB.
+  EXPECT_NEAR(static_cast<double>(ideal.threshold_bytes(0, 1'000'000'000)),
+              6'250.0, 300.0);
+  EXPECT_TRUE(ideal.on_enqueue(ctx_at(now, 10'000), *p));
+  EXPECT_FALSE(ideal.on_enqueue(ctx_at(now, 5'000), *p));
+}
+
+TEST(IdealRed, ObserverSeesEverySample) {
+  IdealRedMarker ideal(1, 10'000, 100 * sim::kMicrosecond);
+  int observed = 0;
+  ideal.set_sample_observer(
+      [&](std::size_t, sim::Time, double, double) { ++observed; });
+  auto p = make_test_packet(1500);
+  sim::Time now = 0;
+  for (int i = 0; i < 70; ++i) {
+    now += 12 * sim::kMicrosecond;
+    ideal.on_dequeue(ctx_at(now, 50'000), *p);
+  }
+  // 70 x 1500B = 105KB -> 10KB cycles: ~10 samples.
+  EXPECT_GE(observed, 8);
+  EXPECT_LE(observed, 12);
+}
+
+}  // namespace
+}  // namespace tcn::aqm

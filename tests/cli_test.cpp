@@ -1,0 +1,124 @@
+// Tests for the tcnsim command-line parser: defaults per topology, flag
+// handling, derived parameters, and error messages.
+#include <gtest/gtest.h>
+
+#include "core/cli.hpp"
+
+namespace tcn::core {
+namespace {
+
+FctExperiment parse(std::initializer_list<const char*> args) {
+  return parse_cli(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(Cli, StarDefaultsMatchTestbed) {
+  const auto cfg = parse({});
+  EXPECT_EQ(cfg.topology, FctExperiment::Topology::kStarConverge);
+  EXPECT_EQ(cfg.scheme, Scheme::kTcn);
+  EXPECT_EQ(cfg.sched.kind, SchedKind::kDwrr);
+  EXPECT_EQ(cfg.params.rtt_lambda, 256 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.red_threshold_bytes, 32'000u);
+  EXPECT_EQ(cfg.tcp.rto_min, 10 * sim::kMillisecond);
+  EXPECT_EQ(cfg.num_services, 4u);
+  EXPECT_TRUE(cfg.persistent_connections);
+  EXPECT_EQ(cfg.star.num_hosts, 9u);
+}
+
+TEST(Cli, LeafSpineDefaultsMatchSimulation) {
+  const auto cfg = parse({"--topology", "leafspine"});
+  EXPECT_EQ(cfg.topology, FctExperiment::Topology::kLeafSpine);
+  EXPECT_EQ(cfg.params.rtt_lambda, 78 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.red_threshold_bytes, 65u * 1'500u);
+  EXPECT_EQ(cfg.tcp.rto_min, 5 * sim::kMillisecond);
+  EXPECT_EQ(cfg.tcp.init_cwnd_pkts, 16u);
+  EXPECT_EQ(cfg.num_services, 7u);
+  EXPECT_EQ(cfg.service_workloads.size(), 4u);
+  EXPECT_FALSE(cfg.persistent_connections);
+}
+
+TEST(Cli, SchemeAndSchedulerNames) {
+  EXPECT_EQ(parse_scheme("tcn"), Scheme::kTcn);
+  EXPECT_EQ(parse_scheme("mq-ecn"), Scheme::kMqEcn);
+  EXPECT_EQ(parse_scheme("red-dequeue"), Scheme::kRedDequeue);
+  EXPECT_THROW(parse_scheme("wat"), std::invalid_argument);
+  EXPECT_EQ(parse_sched("sp-wfq"), SchedKind::kSpWfq);
+  EXPECT_EQ(parse_sched("pifo"), SchedKind::kPifoStfq);
+  EXPECT_THROW(parse_sched("wat"), std::invalid_argument);
+  EXPECT_EQ(parse_workload("hadoop"), workload::Kind::kHadoop);
+  EXPECT_THROW(parse_workload("wat"), std::invalid_argument);
+}
+
+TEST(Cli, NumericFlags) {
+  const auto cfg = parse({"--load", "0.85", "--flows", "1234", "--seed", "42",
+                          "--rtt-lambda-us", "100", "--red-k-bytes", "12500"});
+  EXPECT_DOUBLE_EQ(cfg.load, 0.85);
+  EXPECT_EQ(cfg.num_flows, 1234u);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.params.rtt_lambda, 100 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.red_threshold_bytes, 12'500u);
+}
+
+TEST(Cli, WorkloadList) {
+  const auto cfg = parse({"--workload", "cache,hadoop"});
+  ASSERT_EQ(cfg.service_workloads.size(), 2u);
+  EXPECT_EQ(cfg.service_workloads[0], workload::Kind::kCache);
+  EXPECT_EQ(cfg.service_workloads[1], workload::Kind::kHadoop);
+}
+
+TEST(Cli, PiasUpgradesToHybridScheduler) {
+  const auto dwrr = parse({"--sched", "dwrr", "--pias"});
+  EXPECT_EQ(dwrr.sched.kind, SchedKind::kSpDwrr);
+  EXPECT_TRUE(dwrr.pias);
+  const auto wfq = parse({"--sched", "wfq", "--pias"});
+  EXPECT_EQ(wfq.sched.kind, SchedKind::kSpWfq);
+  const auto already = parse({"--sched", "sp-dwrr", "--pias"});
+  EXPECT_EQ(already.sched.kind, SchedKind::kSpDwrr);
+}
+
+TEST(Cli, TransportAndTcpOptions) {
+  const auto cfg = parse({"--transport", "ecnstar", "--sack", "--delayed-ack",
+                          "--rto-min-us", "5000"});
+  EXPECT_EQ(cfg.tcp.cc, transport::CongestionControl::kEcnStar);
+  EXPECT_TRUE(cfg.tcp.sack);
+  EXPECT_TRUE(cfg.tcp.delayed_ack);
+  EXPECT_EQ(cfg.tcp.rto_min, 5 * sim::kMillisecond);
+}
+
+TEST(Cli, DerivedCodelAndProbParameters) {
+  const auto cfg = parse({"--rtt-lambda-us", "250"});
+  EXPECT_EQ(cfg.params.codel_target, 50 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.codel_interval, 1000 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.tcn_tmin, 125 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.tcn_tmax, 375 * sim::kMicrosecond);
+}
+
+TEST(Cli, Errors) {
+  EXPECT_THROW(parse({"--load"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--load", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--flows", "12x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--wat"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--topology", "ring"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--workload", ""}), std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsEveryFlag) {
+  const auto usage = cli_usage();
+  for (const char* flag :
+       {"--topology", "--scheme", "--sched", "--load", "--flows",
+        "--workload", "--pias", "--transport", "--sack", "--delayed-ack",
+        "--seed", "--rtt-lambda-us", "--red-k-bytes"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, ParsedConfigActuallyRuns) {
+  auto cfg = parse({"--flows", "30", "--load", "0.4", "--workload", "cache"});
+  const auto report = run_fct_experiment(cfg);
+  EXPECT_EQ(report.flows_completed, 30u);
+  const auto text = format_report(cfg, report);
+  EXPECT_NE(text.find("avg FCT"), std::string::npos);
+  EXPECT_NE(text.find("TCN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcn::core

@@ -1,0 +1,98 @@
+// Tests for the Sec. 4.2 hardware-model TCN: wrapping 2-byte timestamps at
+// 4/8ns resolution must agree with the ideal sojourn-time marker for every
+// sojourn below the wrap horizon, including across counter wraps.
+#include <gtest/gtest.h>
+
+#include "aqm/hw_tcn.hpp"
+#include "aqm/tcn.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace tcn::aqm {
+namespace {
+
+using test::make_test_packet;
+
+net::MarkContext ctx_at(sim::Time now) {
+  return net::MarkContext{.now = now,
+                          .queue = 0,
+                          .queue_bytes = 0,
+                          .port_bytes = 0,
+                          .link_rate_bps = 10'000'000'000ULL};
+}
+
+TEST(WrappingClock, HorizonMatchesPaper) {
+  // "4ns x 2^16 ~= 262us, 8ns x 2^16 ~= 524us" (Sec. 4.2).
+  EXPECT_EQ(WrappingClock(4, 16).horizon(), 262'144);
+  EXPECT_EQ(WrappingClock(8, 16).horizon(), 524'288);
+}
+
+TEST(WrappingClock, ElapsedAcrossWrap) {
+  const WrappingClock clk(4, 16);
+  // Enqueue just before the counter wraps, dequeue just after.
+  const sim::Time enq_t = 262'140;  // tick 65535
+  const sim::Time deq_t = 262'148;  // tick 1 after wrap
+  const auto e = clk.elapsed(clk.stamp(enq_t), clk.stamp(deq_t));
+  EXPECT_EQ(e, 8);
+}
+
+TEST(WrappingClock, QuantizationErrorBounded) {
+  const WrappingClock clk(8, 16);
+  sim::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto enq = static_cast<sim::Time>(rng.uniform(0, 1e9));
+    const auto delta = static_cast<sim::Time>(rng.uniform(0, 500'000));
+    const auto measured = clk.elapsed(clk.stamp(enq), clk.stamp(enq + delta));
+    EXPECT_LE(std::abs(measured - delta), 8) << "enq=" << enq;
+  }
+}
+
+TEST(WrappingClock, RejectsBadConfig) {
+  EXPECT_THROW(WrappingClock(0, 16), std::invalid_argument);
+  EXPECT_THROW(WrappingClock(4, 0), std::invalid_argument);
+  EXPECT_THROW(WrappingClock(4, 32), std::invalid_argument);
+}
+
+TEST(HwTcn, AgreesWithIdealMarkerBelowHorizon) {
+  const sim::Time threshold = 78 * sim::kMicrosecond;
+  TcnMarker ideal(threshold);
+  HwTcnMarker hw(threshold, 4, 16);
+  sim::Rng rng(7);
+  auto p = make_test_packet(1500);
+  int disagreements = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    p->enqueue_ts = static_cast<sim::Time>(rng.uniform(0, 1e9));
+    const auto sojourn = static_cast<sim::Time>(rng.uniform(0, 250'000));
+    const auto now = p->enqueue_ts + sojourn;
+    const bool a = ideal.on_dequeue(ctx_at(now), *p);
+    const bool b = hw.on_dequeue(ctx_at(now), *p);
+    // Within one tick of the threshold the quantized compare may differ;
+    // anywhere else it must agree.
+    if (std::abs(sojourn - threshold) > 8) {
+      EXPECT_EQ(a, b) << "sojourn=" << sojourn;
+    } else if (a != b) {
+      ++disagreements;
+    }
+  }
+  EXPECT_LE(disagreements, 10);
+}
+
+TEST(HwTcn, MarksAcrossCounterWrap) {
+  const sim::Time threshold = 100 * sim::kMicrosecond;
+  HwTcnMarker hw(threshold, 4, 16);
+  auto p = make_test_packet(1500);
+  // Enqueue near the wrap, dequeue after it, sojourn 150us > T.
+  p->enqueue_ts = 262'000;
+  EXPECT_TRUE(hw.on_dequeue(ctx_at(262'000 + 150'000), *p));
+  // Sojourn 50us < T across the wrap: no mark.
+  EXPECT_FALSE(hw.on_dequeue(ctx_at(262'000 + 50'000), *p));
+}
+
+TEST(HwTcn, RejectsThresholdBeyondHorizon) {
+  EXPECT_THROW(HwTcnMarker(300 * sim::kMicrosecond, 4, 16),
+               std::invalid_argument);
+  EXPECT_NO_THROW(HwTcnMarker(300 * sim::kMicrosecond, 8, 16));
+}
+
+}  // namespace
+}  // namespace tcn::aqm

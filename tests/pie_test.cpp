@@ -1,0 +1,119 @@
+// PIE controller tests: PI control-law behaviour (probability rises under
+// sustained delay, falls when delay subsides), delay estimation via the
+// Algorithm-1 rate estimator, and end-to-end behaviour through a port.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aqm/pie.hpp"
+#include "net/fifo_scheduler.hpp"
+#include "net/marker.hpp"
+#include "net/port.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace tcn::aqm {
+namespace {
+
+using test::CaptureNode;
+using test::make_test_packet;
+
+PieConfig dc_config() {
+  PieConfig cfg;
+  cfg.target = 20 * sim::kMicrosecond;
+  cfg.t_update = 30 * sim::kMicrosecond;
+  return cfg;
+}
+
+TEST(Pie, RejectsBadConfig) {
+  EXPECT_THROW(PieMarker(0, dc_config()), std::invalid_argument);
+  PieConfig bad = dc_config();
+  bad.target = 0;
+  EXPECT_THROW(PieMarker(1, bad), std::invalid_argument);
+}
+
+TEST(Pie, ProbabilityRisesUnderSustainedDelay) {
+  PieMarker pie(1, dc_config());
+  auto p = make_test_packet(1500);
+  // Drive departures at 1Gbps with a deep standing queue (125KB = 1ms of
+  // delay >> 20us target).
+  sim::Time now = 0;
+  for (int i = 0; i < 300; ++i) {
+    now += 12 * sim::kMicrosecond;
+    net::MarkContext ctx{now, 0, 125'000, 125'000, 1'000'000'000};
+    pie.on_dequeue(ctx, *p);
+  }
+  EXPECT_GT(pie.probability(0), 0.5);
+  EXPECT_GT(pie.qdelay(0), 500 * sim::kMicrosecond);
+}
+
+TEST(Pie, ProbabilityFallsWhenDelaySubsides) {
+  PieMarker pie(1, dc_config());
+  auto p = make_test_packet(1500);
+  sim::Time now = 0;
+  for (int i = 0; i < 300; ++i) {
+    now += 12 * sim::kMicrosecond;
+    pie.on_dequeue({now, 0, 125'000, 125'000, 1'000'000'000}, *p);
+  }
+  const double high = pie.probability(0);
+  // Queue drains to nothing: p must decay well below its peak.
+  for (int i = 0; i < 600; ++i) {
+    now += 12 * sim::kMicrosecond;
+    pie.on_dequeue({now, 0, 0, 0, 1'000'000'000}, *p);
+  }
+  EXPECT_LT(pie.probability(0), high / 4);
+}
+
+TEST(Pie, NoMarkingAtOrBelowTarget) {
+  PieMarker pie(1, dc_config());
+  auto p = make_test_packet(1500);
+  sim::Time now = 0;
+  int marks = 0;
+  // Steady 1Gbps with ~2.4KB backlog = ~19us delay, just under target.
+  for (int i = 0; i < 500; ++i) {
+    now += 12 * sim::kMicrosecond;
+    pie.on_dequeue({now, 0, 2'400, 2'400, 1'000'000'000}, *p);
+    if (pie.on_enqueue({now, 0, 2'400, 2'400, 1'000'000'000}, *p)) ++marks;
+  }
+  EXPECT_EQ(marks, 0);
+  // The first-sample derivative bump decays back toward zero once the delay
+  // sits below target.
+  EXPECT_LT(pie.probability(0), 0.3);
+}
+
+TEST(Pie, TracksQueuesIndependently) {
+  PieMarker pie(2, dc_config());
+  auto p = make_test_packet(1500);
+  sim::Time now = 0;
+  for (int i = 0; i < 300; ++i) {
+    now += 12 * sim::kMicrosecond;
+    pie.on_dequeue({now, 0, 125'000, 125'000, 1'000'000'000}, *p);  // deep
+    pie.on_dequeue({now, 1, 0, 125'000, 1'000'000'000}, *p);        // empty
+  }
+  EXPECT_GT(pie.probability(0), 0.3);
+  EXPECT_LT(pie.probability(1), 0.05);
+}
+
+TEST(Pie, EndToEndThroughPortControlsBacklog) {
+  // Saturating arrivals at 2x the drain rate: PIE must mark a large share
+  // of delivered ECT packets once the delay stays above target.
+  sim::Simulator sim;
+  CaptureNode sink;
+  net::PortConfig cfg;
+  cfg.rate_bps = 1'000'000'000;
+  cfg.num_queues = 1;
+  auto port = std::make_unique<net::Port>(
+      sim, "p", cfg, std::make_unique<net::FifoScheduler>(),
+      std::make_unique<PieMarker>(1, dc_config()));
+  port->connect(&sink, 0);
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_at(i * 6 * sim::kMicrosecond, [&port] {
+      port->enqueue(make_test_packet(1500, 0, 0), 0);
+    });
+  }
+  sim.run();
+  EXPECT_GT(port->counters().marks, 50u);
+}
+
+}  // namespace
+}  // namespace tcn::aqm

@@ -1,0 +1,391 @@
+// Scheduler tests: strict priority, DWRR quantum fairness and round-time
+// tracking, WFQ weighted fairness, SP hybrids, PIFO programs, plus
+// property-style sweeps (work conservation, proportional sharing) over
+// random arrival patterns.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "net/fifo_scheduler.hpp"
+#include "net/marker.hpp"
+#include "net/port.hpp"
+#include "sched/dwrr.hpp"
+#include "sched/pifo.hpp"
+#include "sched/sp.hpp"
+#include "sched/sp_hybrid.hpp"
+#include "sched/wfq.hpp"
+#include "sched/wrr.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace tcn::sched {
+namespace {
+
+using test::CaptureNode;
+using test::make_test_packet;
+
+/// Drives a scheduler through a Port with a frozen clock: enqueue a backlog,
+/// then observe departure order byte-by-byte.
+struct Rig {
+  explicit Rig(std::unique_ptr<net::Scheduler> sched, std::size_t num_queues,
+               std::uint64_t rate = 1'000'000'000) {
+    net::PortConfig cfg;
+    cfg.rate_bps = rate;
+    cfg.num_queues = num_queues;
+    port = std::make_unique<net::Port>(sim, "p", cfg, std::move(sched),
+                                       std::make_unique<net::NullMarker>());
+    port->connect(&sink, 0);
+  }
+
+  /// Bytes received by the sink per queue-of-origin (flow id = queue).
+  std::vector<std::uint64_t> delivered_bytes(std::size_t num_queues) const {
+    std::vector<std::uint64_t> out(num_queues, 0);
+    for (const auto& p : sink.packets) out[p->flow] += p->size;
+    return out;
+  }
+
+  sim::Simulator sim;
+  CaptureNode sink;
+  std::unique_ptr<net::Port> port;
+};
+
+TEST(SpScheduler, HighPriorityAlwaysFirst) {
+  Rig rig(std::make_unique<SpScheduler>(), 2);
+  // Backlog low-priority queue, then a high-priority packet arrives; it must
+  // jump ahead of everything not yet in service.
+  for (int i = 0; i < 5; ++i) rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+  rig.sim.run();
+  ASSERT_EQ(rig.sink.packets.size(), 6u);
+  // Packet 0 was already serializing; the high-priority one is second.
+  EXPECT_EQ(rig.sink.packets[1]->flow, 0u);
+}
+
+TEST(DwrrScheduler, EqualQuantaGiveEqualBytes) {
+  Rig rig(std::make_unique<DwrrScheduler>(std::vector<std::uint64_t>{1500, 1500}),
+          2);
+  for (int i = 0; i < 40; ++i) {
+    rig.port->enqueue(make_test_packet(1000, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(500, 1, 1), 1);
+  }
+  rig.sim.run();
+  const auto bytes = rig.delivered_bytes(2);
+  EXPECT_EQ(bytes[0], 40'000u);
+  EXPECT_EQ(bytes[1], 20'000u);
+  // Check interleaving fairness over the first half: neither queue should be
+  // more than one quantum ahead while both are backlogged.
+  std::int64_t diff = 0;
+  std::int64_t max_abs = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& p = rig.sink.packets[i];
+    diff += (p->flow == 0) ? p->size : -static_cast<std::int64_t>(p->size);
+    max_abs = std::max<std::int64_t>(max_abs, std::abs(diff));
+  }
+  EXPECT_LE(max_abs, 3'000);
+}
+
+TEST(DwrrScheduler, WeightedQuantaShareProportionally) {
+  Rig rig(std::make_unique<DwrrScheduler>(
+              std::vector<std::uint64_t>{3000, 1500}),
+          2);
+  for (int i = 0; i < 60; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  }
+  // While both are backlogged, queue 0 gets ~2x the service. Look at the
+  // first 30 departures: expect ~20 from queue 0.
+  rig.sim.run();
+  int q0 = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (rig.sink.packets[i]->flow == 0) ++q0;
+  }
+  EXPECT_NEAR(q0, 20, 2);
+}
+
+TEST(DwrrScheduler, DeficitCarriesOverForBigPackets) {
+  // Quantum 1000 < packet 1500: queue should still drain (two rounds per
+  // packet), never stall.
+  Rig rig(std::make_unique<DwrrScheduler>(std::vector<std::uint64_t>{1000}),
+          1);
+  for (int i = 0; i < 3; ++i) rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+  rig.sim.run();
+  EXPECT_EQ(rig.sink.packets.size(), 3u);
+}
+
+TEST(DwrrScheduler, EmptyQueueForfeitsDeficit) {
+  auto sched = std::make_unique<DwrrScheduler>(
+      std::vector<std::uint64_t>{1500, 1500});
+  auto* raw = sched.get();
+  Rig rig(std::move(sched), 2);
+  rig.port->enqueue(make_test_packet(100, 0, 0), 0);
+  rig.sim.run();
+  // Queue 0 drained; re-activation must start from zero deficit (we can't
+  // observe deficit directly, but service must still be fair afterwards).
+  for (int i = 0; i < 20; ++i) {
+    rig.port->enqueue(make_test_packet(1000, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1000, 1, 1), 1);
+  }
+  rig.sim.run();
+  const auto bytes = rig.delivered_bytes(2);
+  EXPECT_EQ(bytes[0], 100u + 20'000u);
+  EXPECT_EQ(bytes[1], 20'000u);
+  (void)raw;
+}
+
+TEST(DwrrScheduler, RoundRateConvergesToFairShare) {
+  // Two always-backlogged queues on a 1G port with equal quanta: each queue's
+  // round-rate estimate must converge to ~500Mbps.
+  auto sched = std::make_unique<DwrrScheduler>(
+      std::vector<std::uint64_t>{1500, 1500});
+  auto* raw = sched.get();
+  Rig rig(std::move(sched), 2);
+  for (int i = 0; i < 200; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  }
+  rig.sim.run();
+  const double r0 = raw->queue_rate_bps(0, rig.sim.now());
+  EXPECT_NEAR(r0, 500e6, 25e6);
+}
+
+TEST(DwrrScheduler, SoleQueueEstimatesFullRate) {
+  auto sched =
+      std::make_unique<DwrrScheduler>(std::vector<std::uint64_t>{1500});
+  auto* raw = sched.get();
+  Rig rig(std::move(sched), 1);
+  for (int i = 0; i < 100; ++i) rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+  rig.sim.run();
+  EXPECT_NEAR(raw->queue_rate_bps(0, rig.sim.now()), 1e9, 5e7);
+}
+
+TEST(DwrrScheduler, RejectsBadConfig) {
+  EXPECT_THROW(DwrrScheduler({}), std::invalid_argument);
+  EXPECT_THROW(DwrrScheduler({0}), std::invalid_argument);
+  EXPECT_THROW(DwrrScheduler({1500}, 1.5), std::invalid_argument);
+}
+
+TEST(WrrScheduler, PacketWeightedRotation) {
+  Rig rig(std::make_unique<WrrScheduler>(std::vector<std::uint32_t>{2, 1}), 2);
+  for (int i = 0; i < 30; ++i) {
+    rig.port->enqueue(make_test_packet(1000, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1000, 1, 1), 1);
+  }
+  rig.sim.run();
+  // First 15 departures: queue 0 should have ~2/3.
+  int q0 = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    if (rig.sink.packets[i]->flow == 0) ++q0;
+  }
+  EXPECT_NEAR(q0, 10, 1);
+}
+
+TEST(WfqScheduler, EqualWeightsAlternateBytes) {
+  Rig rig(std::make_unique<WfqScheduler>(std::vector<double>{1.0, 1.0}), 2);
+  for (int i = 0; i < 40; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(500, 1, 1), 1);
+  }
+  rig.sim.run();
+  // While both stay backlogged (queue 1 holds only 20KB; with equal weights
+  // it drains once queue 0 has also received ~20KB, i.e. through departure
+  // ~48), served bytes stay within about one max packet of each other.
+  std::int64_t diff = 0;
+  for (std::size_t i = 0; i < 48; ++i) {
+    const auto& p = rig.sink.packets[i];
+    diff += (p->flow == 0) ? p->size : -static_cast<std::int64_t>(p->size);
+    EXPECT_LE(std::abs(diff), 3000) << "at departure " << i;
+  }
+}
+
+TEST(WfqScheduler, WeightsGiveProportionalService) {
+  Rig rig(std::make_unique<WfqScheduler>(std::vector<double>{3.0, 1.0}), 2);
+  for (int i = 0; i < 80; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  }
+  rig.sim.run();
+  int q0 = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (rig.sink.packets[i]->flow == 0) ++q0;
+  }
+  EXPECT_NEAR(q0, 30, 2);
+}
+
+TEST(WfqScheduler, LateArrivalGetsImmediateShare) {
+  // Queue 1 starts late; once it arrives it should not be starved by queue
+  // 0's accumulated backlog (SCFQ resumes from current virtual time).
+  Rig rig(std::make_unique<WfqScheduler>(std::vector<double>{1.0, 1.0}), 2);
+  for (int i = 0; i < 50; ++i) rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+  rig.sim.schedule_at(100 * sim::kMicrosecond, [&] {
+    for (int i = 0; i < 10; ++i) rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  });
+  rig.sim.run();
+  // Find the arrival point in the departure sequence; after it, service
+  // should alternate rather than finishing queue 0 first.
+  std::size_t first_q1 = 0;
+  for (std::size_t i = 0; i < rig.sink.packets.size(); ++i) {
+    if (rig.sink.packets[i]->flow == 1) {
+      first_q1 = i;
+      break;
+    }
+  }
+  // 100us at 1G = ~8.3 packets; queue 1's first packet should depart within
+  // a couple of packets after its arrival, not after queue 0's 50.
+  EXPECT_LT(first_q1, 14u);
+}
+
+TEST(SpHybridScheduler, StrictQueueStarvesInner) {
+  auto inner = std::make_unique<WfqScheduler>(std::vector<double>{1, 1, 1});
+  Rig rig(std::make_unique<SpHybridScheduler>(1, std::move(inner)), 3);
+  for (int i = 0; i < 10; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+    rig.port->enqueue(make_test_packet(1500, 2, 2), 2);
+  }
+  rig.sim.run();
+  // All SP packets must depart before the last SP packet time; specifically
+  // among the first 11 departures at least 10 are from queue 0.
+  int sp = 0;
+  for (std::size_t i = 0; i < 11; ++i) {
+    if (rig.sink.packets[i]->flow == 0) ++sp;
+  }
+  EXPECT_GE(sp, 10);
+}
+
+TEST(SpHybridScheduler, InnerSharesFairlyWhenSpIdle) {
+  auto inner = std::make_unique<DwrrScheduler>(
+      std::vector<std::uint64_t>{1500, 1500, 1500});
+  Rig rig(std::make_unique<SpHybridScheduler>(1, std::move(inner)), 3);
+  for (int i = 0; i < 30; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+    rig.port->enqueue(make_test_packet(1500, 2, 2), 2);
+  }
+  rig.sim.run();
+  const auto bytes = rig.delivered_bytes(3);
+  EXPECT_EQ(bytes[1], bytes[2]);
+}
+
+TEST(SpHybridScheduler, RejectsBadConfig) {
+  EXPECT_THROW(SpHybridScheduler(0, std::make_unique<SpScheduler>()),
+               std::invalid_argument);
+  EXPECT_THROW(SpHybridScheduler(1, nullptr), std::invalid_argument);
+}
+
+TEST(PifoScheduler, PriorityProgramActsAsStrictPriority) {
+  Rig rig(std::make_unique<PifoScheduler>(PifoScheduler::priority_program()),
+          2);
+  for (int i = 0; i < 5; ++i) rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+  rig.sim.run();
+  EXPECT_EQ(rig.sink.packets[1]->flow, 0u);
+}
+
+TEST(PifoScheduler, StfqProgramApproximatesFairness) {
+  Rig rig(std::make_unique<PifoScheduler>(
+              PifoScheduler::stfq_program({1.0, 1.0})),
+          2);
+  for (int i = 0; i < 40; ++i) {
+    rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+    rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  }
+  rig.sim.run();
+  int q0 = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (rig.sink.packets[i]->flow == 0) ++q0;
+  }
+  EXPECT_NEAR(q0, 20, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: random arrivals, invariants that must hold for any
+// work-conserving fair scheduler.
+// ---------------------------------------------------------------------------
+
+struct SchedCase {
+  const char* name;
+  std::function<std::unique_ptr<net::Scheduler>(std::size_t nq)> make;
+};
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerPropertyTest, WorkConservingUnderRandomArrivals) {
+  const std::size_t nq = 4;
+  Rig rig(GetParam().make(nq), nq);
+  sim::Rng rng(99);
+  std::uint64_t total_in = 0;
+  // Burst arrivals at random times within 1ms; link 1G drains 125KB/ms.
+  for (int i = 0; i < 60; ++i) {
+    const auto t = static_cast<sim::Time>(rng.uniform(0, 1e6));
+    const auto q = static_cast<std::size_t>(rng.uniform_int(0, nq - 1));
+    const auto size = static_cast<std::uint32_t>(rng.uniform_int(100, 1500));
+    total_in += size;
+    rig.sim.schedule_at(t, [&rig, q, size] {
+      rig.port->enqueue(make_test_packet(size, static_cast<std::uint8_t>(q), q),
+                        q);
+    });
+  }
+  rig.sim.run();
+  // Everything delivered, nothing lost or duplicated.
+  std::uint64_t total_out = 0;
+  for (const auto& p : rig.sink.packets) total_out += p->size;
+  EXPECT_EQ(total_in, total_out);
+  // Work conservation: the link never idles while backlogged, so the total
+  // drain time is at most last-arrival + total-bytes serialization.
+  EXPECT_LE(rig.sim.now(),
+            1 * sim::kMillisecond +
+                sim::transmission_time(total_in, 1'000'000'000));
+}
+
+TEST_P(SchedulerPropertyTest, BackloggedQueuesShareWithinFactorTwo) {
+  const std::size_t nq = 4;
+  Rig rig(GetParam().make(nq), nq);
+  // Keep all queues heavily backlogged with equal-size packets.
+  for (int i = 0; i < 100; ++i) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      rig.port->enqueue(
+          make_test_packet(1000, static_cast<std::uint8_t>(q), q), q);
+    }
+  }
+  rig.sim.run();
+  // Inspect the first half of departures (all queues still backlogged).
+  std::vector<int> counts(nq, 0);
+  for (std::size_t i = 0; i < 200; ++i) ++counts[rig.sink.packets[i]->flow];
+  for (std::size_t q = 0; q < nq; ++q) {
+    EXPECT_GE(counts[q], 25) << "queue " << q << " starved";
+    EXPECT_LE(counts[q], 100) << "queue " << q << " hogged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FairSchedulers, SchedulerPropertyTest,
+    ::testing::Values(
+        SchedCase{"dwrr",
+                  [](std::size_t nq) {
+                    return std::make_unique<DwrrScheduler>(
+                        std::vector<std::uint64_t>(nq, 1500));
+                  }},
+        SchedCase{"wrr",
+                  [](std::size_t nq) {
+                    return std::make_unique<WrrScheduler>(
+                        std::vector<std::uint32_t>(nq, 1));
+                  }},
+        SchedCase{"wfq",
+                  [](std::size_t nq) {
+                    return std::make_unique<WfqScheduler>(
+                        std::vector<double>(nq, 1.0));
+                  }},
+        SchedCase{"pifo_stfq",
+                  [](std::size_t nq) {
+                    return std::make_unique<PifoScheduler>(
+                        PifoScheduler::stfq_program(
+                            std::vector<double>(nq, 1.0)));
+                  }}),
+    [](const ::testing::TestParamInfo<SchedCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tcn::sched

@@ -1,0 +1,209 @@
+// Unit tests for the simulation engine: event ordering, cancellation,
+// determinism, time arithmetic, RNG and empirical CDFs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/ecdf.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::sim {
+namespace {
+
+TEST(Time, Constants) {
+  EXPECT_EQ(kMicrosecond, 1'000);
+  EXPECT_EQ(kMillisecond, 1'000'000);
+  EXPECT_EQ(kSecond, 1'000'000'000);
+}
+
+TEST(Time, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), 500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(0.125)), 0.125);
+}
+
+TEST(Time, TransmissionTime) {
+  // 1500B at 1Gbps = 12us.
+  EXPECT_EQ(transmission_time(1500, 1'000'000'000), 12 * kMicrosecond);
+  // 1500B at 10Gbps = 1.2us.
+  EXPECT_EQ(transmission_time(1500, 10'000'000'000ULL), 1'200);
+  // Rounds up: 1 byte at 3bps -> ceil(8/3 * 1e9).
+  EXPECT_EQ(transmission_time(1, 3), (8 * kSecond + 2) / 3);
+}
+
+TEST(Time, TransmissionTimeNeverZeroForData) {
+  EXPECT_GT(transmission_time(1, 100'000'000'000ULL), 0);
+}
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, FifoWithinSameTimestamp) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  Time fired_at = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_in(50, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator s;
+  s.schedule_at(100, [&] {
+    EXPECT_THROW(s.schedule_at(50, [] {}), std::invalid_argument);
+  });
+  s.run();
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceIsHarmless) {
+  Simulator s;
+  const EventId id = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(999'999));
+  s.run();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  s.run(20);
+  EXPECT_EQ(count, 2);  // t=20 inclusive
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] {
+    ++count;
+    s.stop();
+  });
+  s.schedule_at(20, [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 1);
+  s.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ReturnsExecutedCount) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  EXPECT_EQ(s.run(), 7u);
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(Simulator, SelfReschedulingChain) {
+  Simulator s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) s.schedule_in(5, tick);
+  };
+  s.schedule_at(0, tick);
+  s.run();
+  EXPECT_EQ(ticks, 100);
+  EXPECT_EQ(s.now(), 99 * 5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(3);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Ecdf, RejectsBadInput) {
+  EXPECT_THROW(Ecdf(std::vector<Ecdf::Point>{}), std::invalid_argument);
+  EXPECT_THROW(Ecdf({{1, 0.0}, {2, 0.5}}), std::invalid_argument);  // !=1 end
+  EXPECT_THROW(Ecdf({{2, 0.0}, {1, 1.0}}), std::invalid_argument);  // order
+  EXPECT_THROW(Ecdf({{1, 0.5}, {2, 0.2}, {3, 1.0}}), std::invalid_argument);
+}
+
+TEST(Ecdf, QuantileInterpolates) {
+  const Ecdf e({{0, 0.0}, {100, 1.0}});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 100.0);
+}
+
+TEST(Ecdf, CdfAtInverseOfQuantile) {
+  const Ecdf e({{10, 0.0}, {20, 0.25}, {40, 0.75}, {100, 1.0}});
+  for (const double p : {0.1, 0.25, 0.4, 0.75, 0.9}) {
+    EXPECT_NEAR(e.cdf_at(e.quantile(p)), p, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(e.cdf_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf_at(1000.0), 1.0);
+}
+
+TEST(Ecdf, MeanMatchesSampling) {
+  const Ecdf e({{0, 0.0}, {10, 0.5}, {100, 1.0}});
+  // Analytic: 0.5*5 + 0.5*55 = 30.
+  EXPECT_DOUBLE_EQ(e.mean(), 30.0);
+  Rng r(11);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += e.sample(r);
+  EXPECT_NEAR(sum / n, 30.0, 0.3);
+}
+
+TEST(Ecdf, PointMassAtSingleValue) {
+  const Ecdf e({{500, 1.0}});
+  Rng r(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(e.sample(r), 500.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 500.0);
+}
+
+}  // namespace
+}  // namespace tcn::sim

@@ -1,0 +1,120 @@
+// Stats tests: percentile math, FCT bucketing, goodput meter, sampler.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "stats/fct.hpp"
+#include "stats/percentile.hpp"
+#include "stats/timeseries.hpp"
+
+namespace tcn::stats {
+namespace {
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 20.0), 1.0);
+}
+
+TEST(Percentile, P99OfLargeSample) {
+  std::vector<int> v(1000);
+  for (int i = 0; i < 1000; ++i) v[i] = i + 1;  // 1..1000
+  EXPECT_EQ(percentile(v, 99.0), 990);
+  EXPECT_EQ(percentile(v, 50.0), 500);
+}
+
+TEST(Percentile, Rejects) {
+  EXPECT_THROW(percentile(std::vector<int>{}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<int>{1}, 101.0), std::invalid_argument);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3}), 2.0);
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+transport::FlowResult flow(std::uint64_t size, double fct_us,
+                           std::uint32_t timeouts = 0) {
+  transport::FlowResult r;
+  r.size = size;
+  r.fct = static_cast<sim::Time>(fct_us * sim::kMicrosecond);
+  r.timeouts = timeouts;
+  return r;
+}
+
+TEST(FctCollector, BucketsBySize) {
+  FctCollector c;
+  c.add(flow(50'000, 100));        // small
+  c.add(flow(100'000, 200));       // small (boundary inclusive)
+  c.add(flow(500'000, 1'000));     // medium: counted in "all" only
+  c.add(flow(20'000'000, 50'000)); // large
+  const auto s = c.summary();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.small_count, 2u);
+  EXPECT_EQ(s.large_count, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_small_us, 150.0);
+  EXPECT_DOUBLE_EQ(s.avg_large_us, 50'000.0);
+  EXPECT_DOUBLE_EQ(s.avg_all_us, (100 + 200 + 1000 + 50'000) / 4.0);
+}
+
+TEST(FctCollector, SmallFlowTimeoutsTracked) {
+  FctCollector c;
+  c.add(flow(1'000, 10'000, 2));
+  c.add(flow(20'000'000, 90'000, 1));
+  const auto s = c.summary();
+  EXPECT_EQ(s.timeouts, 3u);
+  EXPECT_EQ(s.small_timeouts, 2u);
+}
+
+TEST(FctCollector, P99Small) {
+  FctCollector c;
+  for (int i = 1; i <= 100; ++i) c.add(flow(1'000, i));
+  const auto s = c.summary();
+  EXPECT_DOUBLE_EQ(s.p99_small_us, 99.0);
+}
+
+TEST(FctCollector, EmptySummaryIsZero) {
+  FctCollector c;
+  const auto s = c.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_all_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_small_us, 0.0);
+}
+
+TEST(GoodputMeter, BinsAndAverage) {
+  GoodputMeter m(sim::kMillisecond);
+  m.record(125'000, 500 * sim::kMicrosecond);   // bin 0
+  m.record(125'000, 1'500 * sim::kMicrosecond); // bin 1
+  // 125KB over 1ms = 1Gbps.
+  EXPECT_DOUBLE_EQ(m.bin_bps(0), 1e9);
+  EXPECT_DOUBLE_EQ(m.bin_bps(1), 1e9);
+  EXPECT_DOUBLE_EQ(m.bin_bps(5), 0.0);
+  EXPECT_DOUBLE_EQ(m.average_bps(0, 2 * sim::kMillisecond), 1e9);
+  EXPECT_EQ(m.total_bytes(), 250'000u);
+}
+
+TEST(GoodputMeter, AverageOverEmptyWindowIsZero) {
+  GoodputMeter m(sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(m.average_bps(0, sim::kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(m.average_bps(5, 5), 0.0);
+}
+
+TEST(PeriodicSampler, SamplesAtInterval) {
+  sim::Simulator s;
+  double value = 1.0;
+  PeriodicSampler sampler(s, 10 * sim::kMicrosecond, [&] { return value; });
+  sampler.start();
+  s.schedule_at(35 * sim::kMicrosecond, [&] { value = 9.0; });
+  s.run(100 * sim::kMicrosecond);
+  sampler.stop();
+  ASSERT_GE(sampler.samples().size(), 10u);
+  EXPECT_DOUBLE_EQ(sampler.samples()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(sampler.samples()[5].value, 9.0);  // t=50us
+  EXPECT_DOUBLE_EQ(sampler.max_value(), 9.0);
+  EXPECT_EQ(sampler.samples()[3].t, 30 * sim::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace tcn::stats

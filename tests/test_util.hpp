@@ -1,0 +1,39 @@
+// Shared helpers for unit tests: packet factories and a capturing sink node.
+#pragma once
+
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace tcn::test {
+
+/// Node that records every packet it receives.
+class CaptureNode final : public net::Node {
+ public:
+  void receive(net::PacketPtr p, std::size_t ingress) override {
+    ingresses.push_back(ingress);
+    packets.push_back(std::move(p));
+  }
+  [[nodiscard]] std::string_view name() const override { return "capture"; }
+
+  std::vector<net::PacketPtr> packets;
+  std::vector<std::size_t> ingresses;
+};
+
+/// Data packet of `size` wire bytes tagged with `dscp` and flow id.
+inline net::PacketPtr make_test_packet(std::uint32_t size,
+                                       std::uint8_t dscp = 0,
+                                       std::uint64_t flow = 0,
+                                       net::Ecn ecn = net::Ecn::kEct0) {
+  auto p = net::make_packet();
+  p->type = net::PacketType::kData;
+  p->size = size;
+  p->payload = size > net::kHeaderBytes ? size - net::kHeaderBytes : 0;
+  p->dscp = dscp;
+  p->flow = flow;
+  p->ecn = ecn;
+  return p;
+}
+
+}  // namespace tcn::test

@@ -1,0 +1,32 @@
+// tcnsim: run any TCN paper experiment from the command line.
+//
+//   tcnsim --scheme tcn --sched wfq --load 0.8 --flows 2000
+//   tcnsim --topology leafspine --scheme red --sched sp-dwrr --pias \
+//          --transport ecnstar --load 0.9
+//
+// See tcnsim --help for every flag.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(tcn::core::cli_usage().c_str(), stdout);
+      return 0;
+    }
+  }
+  try {
+    const auto cfg = tcn::core::parse_cli(args);
+    const auto report = tcn::core::run_fct_experiment(cfg);
+    std::fputs(tcn::core::format_report(cfg, report).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcnsim: %s\n", e.what());
+    return 2;
+  }
+}
