@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dcqcn.dir/ablation_dcqcn.cpp.o"
+  "CMakeFiles/ablation_dcqcn.dir/ablation_dcqcn.cpp.o.d"
+  "ablation_dcqcn"
+  "ablation_dcqcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dcqcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

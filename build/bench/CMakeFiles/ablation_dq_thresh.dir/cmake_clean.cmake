@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dq_thresh.dir/ablation_dq_thresh.cpp.o"
+  "CMakeFiles/ablation_dq_thresh.dir/ablation_dq_thresh.cpp.o.d"
+  "ablation_dq_thresh"
+  "ablation_dq_thresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dq_thresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

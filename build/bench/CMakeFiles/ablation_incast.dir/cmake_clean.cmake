@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incast.dir/ablation_incast.cpp.o"
+  "CMakeFiles/ablation_incast.dir/ablation_incast.cpp.o.d"
+  "ablation_incast"
+  "ablation_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pifo.dir/ablation_pifo.cpp.o"
+  "CMakeFiles/ablation_pifo.dir/ablation_pifo.cpp.o.d"
+  "ablation_pifo"
+  "ablation_pifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prob_tcn.dir/ablation_prob_tcn.cpp.o"
+  "CMakeFiles/ablation_prob_tcn.dir/ablation_prob_tcn.cpp.o.d"
+  "ablation_prob_tcn"
+  "ablation_prob_tcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prob_tcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcn_threshold.dir/ablation_tcn_threshold.cpp.o"
+  "CMakeFiles/ablation_tcn_threshold.dir/ablation_tcn_threshold.cpp.o.d"
+  "ablation_tcn_threshold"
+  "ablation_tcn_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcn_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_perport_violation.dir/fig01_perport_violation.cpp.o"
+  "CMakeFiles/fig01_perport_violation.dir/fig01_perport_violation.cpp.o.d"
+  "fig01_perport_violation"
+  "fig01_perport_violation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_perport_violation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

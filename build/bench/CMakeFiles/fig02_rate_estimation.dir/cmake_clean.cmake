@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_rate_estimation.dir/fig02_rate_estimation.cpp.o"
+  "CMakeFiles/fig02_rate_estimation.dir/fig02_rate_estimation.cpp.o.d"
+  "fig02_rate_estimation"
+  "fig02_rate_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_rate_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

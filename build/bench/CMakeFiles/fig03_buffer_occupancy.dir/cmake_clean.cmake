@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_buffer_occupancy.dir/fig03_buffer_occupancy.cpp.o"
+  "CMakeFiles/fig03_buffer_occupancy.dir/fig03_buffer_occupancy.cpp.o.d"
+  "fig03_buffer_occupancy"
+  "fig03_buffer_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_buffer_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_workload_cdfs.dir/fig04_workload_cdfs.cpp.o"
+  "CMakeFiles/fig04_workload_cdfs.dir/fig04_workload_cdfs.cpp.o.d"
+  "fig04_workload_cdfs"
+  "fig04_workload_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_workload_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

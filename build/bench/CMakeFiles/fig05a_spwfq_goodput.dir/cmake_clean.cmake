@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_spwfq_goodput.dir/fig05a_spwfq_goodput.cpp.o"
+  "CMakeFiles/fig05a_spwfq_goodput.dir/fig05a_spwfq_goodput.cpp.o.d"
+  "fig05a_spwfq_goodput"
+  "fig05a_spwfq_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_spwfq_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05a_spwfq_goodput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05a_spwfq_goodput.
+# This may be replaced when dependencies are built.

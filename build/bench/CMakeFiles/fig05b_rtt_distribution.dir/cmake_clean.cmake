@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_rtt_distribution.dir/fig05b_rtt_distribution.cpp.o"
+  "CMakeFiles/fig05b_rtt_distribution.dir/fig05b_rtt_distribution.cpp.o.d"
+  "fig05b_rtt_distribution"
+  "fig05b_rtt_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_rtt_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

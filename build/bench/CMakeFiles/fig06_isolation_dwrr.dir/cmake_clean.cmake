@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_isolation_dwrr.dir/fig06_isolation_dwrr.cpp.o"
+  "CMakeFiles/fig06_isolation_dwrr.dir/fig06_isolation_dwrr.cpp.o.d"
+  "fig06_isolation_dwrr"
+  "fig06_isolation_dwrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_isolation_dwrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

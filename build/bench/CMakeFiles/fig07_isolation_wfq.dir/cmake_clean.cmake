@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_isolation_wfq.dir/fig07_isolation_wfq.cpp.o"
+  "CMakeFiles/fig07_isolation_wfq.dir/fig07_isolation_wfq.cpp.o.d"
+  "fig07_isolation_wfq"
+  "fig07_isolation_wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_isolation_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

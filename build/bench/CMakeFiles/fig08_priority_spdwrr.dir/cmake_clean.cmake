@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_priority_spdwrr.dir/fig08_priority_spdwrr.cpp.o"
+  "CMakeFiles/fig08_priority_spdwrr.dir/fig08_priority_spdwrr.cpp.o.d"
+  "fig08_priority_spdwrr"
+  "fig08_priority_spdwrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_priority_spdwrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_priority_spwfq.dir/fig09_priority_spwfq.cpp.o"
+  "CMakeFiles/fig09_priority_spwfq.dir/fig09_priority_spwfq.cpp.o.d"
+  "fig09_priority_spwfq"
+  "fig09_priority_spwfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_priority_spwfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

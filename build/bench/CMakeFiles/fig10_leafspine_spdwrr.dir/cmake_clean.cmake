@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_leafspine_spdwrr.dir/fig10_leafspine_spdwrr.cpp.o"
+  "CMakeFiles/fig10_leafspine_spdwrr.dir/fig10_leafspine_spdwrr.cpp.o.d"
+  "fig10_leafspine_spdwrr"
+  "fig10_leafspine_spdwrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_leafspine_spdwrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

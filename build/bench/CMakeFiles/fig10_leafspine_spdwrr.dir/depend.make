@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_leafspine_spdwrr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_leafspine_spwfq.dir/fig11_leafspine_spwfq.cpp.o"
+  "CMakeFiles/fig11_leafspine_spwfq.dir/fig11_leafspine_spwfq.cpp.o.d"
+  "fig11_leafspine_spwfq"
+  "fig11_leafspine_spwfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_leafspine_spwfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ecnstar.dir/fig12_ecnstar.cpp.o"
+  "CMakeFiles/fig12_ecnstar.dir/fig12_ecnstar.cpp.o.d"
+  "fig12_ecnstar"
+  "fig12_ecnstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ecnstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_32queues.dir/fig13_32queues.cpp.o"
+  "CMakeFiles/fig13_32queues.dir/fig13_32queues.cpp.o.d"
+  "fig13_32queues"
+  "fig13_32queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_32queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_core.cpp" "bench/CMakeFiles/micro_core.dir/micro_core.cpp.o" "gcc" "bench/CMakeFiles/micro_core.dir/micro_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tcn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tcn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pias/CMakeFiles/tcn_pias.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/tcn_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tcn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tcn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tcn_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

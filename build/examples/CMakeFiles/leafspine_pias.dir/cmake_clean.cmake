@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leafspine_pias.dir/leafspine_pias.cpp.o"
+  "CMakeFiles/leafspine_pias.dir/leafspine_pias.cpp.o.d"
+  "leafspine_pias"
+  "leafspine_pias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leafspine_pias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

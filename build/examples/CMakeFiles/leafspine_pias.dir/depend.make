@@ -1,0 +1,2 @@
+# Empty dependencies file for leafspine_pias.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_isolation.dir/service_isolation.cpp.o"
+  "CMakeFiles/service_isolation.dir/service_isolation.cpp.o.d"
+  "service_isolation"
+  "service_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

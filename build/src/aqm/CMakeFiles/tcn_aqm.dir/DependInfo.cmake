@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqm/codel.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/codel.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/codel.cpp.o.d"
+  "/root/repo/src/aqm/mq_ecn.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/mq_ecn.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/mq_ecn.cpp.o.d"
+  "/root/repo/src/aqm/pie.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/pie.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/pie.cpp.o.d"
+  "/root/repo/src/aqm/rate_estimator.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/rate_estimator.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/rate_estimator.cpp.o.d"
+  "/root/repo/src/aqm/red_ecn.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/red_ecn.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/red_ecn.cpp.o.d"
+  "/root/repo/src/aqm/red_prob.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/red_prob.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/red_prob.cpp.o.d"
+  "/root/repo/src/aqm/tcn.cpp" "src/aqm/CMakeFiles/tcn_aqm.dir/tcn.cpp.o" "gcc" "src/aqm/CMakeFiles/tcn_aqm.dir/tcn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

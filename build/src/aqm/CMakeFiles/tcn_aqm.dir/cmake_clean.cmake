@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_aqm.dir/codel.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/codel.cpp.o.d"
+  "CMakeFiles/tcn_aqm.dir/mq_ecn.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/mq_ecn.cpp.o.d"
+  "CMakeFiles/tcn_aqm.dir/pie.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/pie.cpp.o.d"
+  "CMakeFiles/tcn_aqm.dir/rate_estimator.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/rate_estimator.cpp.o.d"
+  "CMakeFiles/tcn_aqm.dir/red_ecn.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/red_ecn.cpp.o.d"
+  "CMakeFiles/tcn_aqm.dir/red_prob.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/red_prob.cpp.o.d"
+  "CMakeFiles/tcn_aqm.dir/tcn.cpp.o"
+  "CMakeFiles/tcn_aqm.dir/tcn.cpp.o.d"
+  "libtcn_aqm.a"
+  "libtcn_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

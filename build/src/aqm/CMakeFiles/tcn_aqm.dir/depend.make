@@ -1,0 +1,2 @@
+# Empty dependencies file for tcn_aqm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_core.dir/cli.cpp.o"
+  "CMakeFiles/tcn_core.dir/cli.cpp.o.d"
+  "CMakeFiles/tcn_core.dir/experiment.cpp.o"
+  "CMakeFiles/tcn_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/tcn_core.dir/schemes.cpp.o"
+  "CMakeFiles/tcn_core.dir/schemes.cpp.o.d"
+  "libtcn_core.a"
+  "libtcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/tcn_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/tcn_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/tcn_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/tcn_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/net/CMakeFiles/tcn_net.dir/port.cpp.o" "gcc" "src/net/CMakeFiles/tcn_net.dir/port.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/tcn_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/tcn_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/tcn_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/tcn_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

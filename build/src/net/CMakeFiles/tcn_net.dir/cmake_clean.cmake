@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_net.dir/host.cpp.o"
+  "CMakeFiles/tcn_net.dir/host.cpp.o.d"
+  "CMakeFiles/tcn_net.dir/packet.cpp.o"
+  "CMakeFiles/tcn_net.dir/packet.cpp.o.d"
+  "CMakeFiles/tcn_net.dir/port.cpp.o"
+  "CMakeFiles/tcn_net.dir/port.cpp.o.d"
+  "CMakeFiles/tcn_net.dir/switch.cpp.o"
+  "CMakeFiles/tcn_net.dir/switch.cpp.o.d"
+  "CMakeFiles/tcn_net.dir/trace.cpp.o"
+  "CMakeFiles/tcn_net.dir/trace.cpp.o.d"
+  "libtcn_net.a"
+  "libtcn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

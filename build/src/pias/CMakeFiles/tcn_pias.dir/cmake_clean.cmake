@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_pias.dir/pias.cpp.o"
+  "CMakeFiles/tcn_pias.dir/pias.cpp.o.d"
+  "libtcn_pias.a"
+  "libtcn_pias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_pias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dwrr.cpp" "src/sched/CMakeFiles/tcn_sched.dir/dwrr.cpp.o" "gcc" "src/sched/CMakeFiles/tcn_sched.dir/dwrr.cpp.o.d"
+  "/root/repo/src/sched/pifo.cpp" "src/sched/CMakeFiles/tcn_sched.dir/pifo.cpp.o" "gcc" "src/sched/CMakeFiles/tcn_sched.dir/pifo.cpp.o.d"
+  "/root/repo/src/sched/sp_hybrid.cpp" "src/sched/CMakeFiles/tcn_sched.dir/sp_hybrid.cpp.o" "gcc" "src/sched/CMakeFiles/tcn_sched.dir/sp_hybrid.cpp.o.d"
+  "/root/repo/src/sched/wfq.cpp" "src/sched/CMakeFiles/tcn_sched.dir/wfq.cpp.o" "gcc" "src/sched/CMakeFiles/tcn_sched.dir/wfq.cpp.o.d"
+  "/root/repo/src/sched/wrr.cpp" "src/sched/CMakeFiles/tcn_sched.dir/wrr.cpp.o" "gcc" "src/sched/CMakeFiles/tcn_sched.dir/wrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_sched.dir/dwrr.cpp.o"
+  "CMakeFiles/tcn_sched.dir/dwrr.cpp.o.d"
+  "CMakeFiles/tcn_sched.dir/pifo.cpp.o"
+  "CMakeFiles/tcn_sched.dir/pifo.cpp.o.d"
+  "CMakeFiles/tcn_sched.dir/sp_hybrid.cpp.o"
+  "CMakeFiles/tcn_sched.dir/sp_hybrid.cpp.o.d"
+  "CMakeFiles/tcn_sched.dir/wfq.cpp.o"
+  "CMakeFiles/tcn_sched.dir/wfq.cpp.o.d"
+  "CMakeFiles/tcn_sched.dir/wrr.cpp.o"
+  "CMakeFiles/tcn_sched.dir/wrr.cpp.o.d"
+  "libtcn_sched.a"
+  "libtcn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_sim.dir/ecdf.cpp.o"
+  "CMakeFiles/tcn_sim.dir/ecdf.cpp.o.d"
+  "CMakeFiles/tcn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tcn_sim.dir/simulator.cpp.o.d"
+  "libtcn_sim.a"
+  "libtcn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_stats.dir/fct.cpp.o"
+  "CMakeFiles/tcn_stats.dir/fct.cpp.o.d"
+  "CMakeFiles/tcn_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/tcn_stats.dir/timeseries.cpp.o.d"
+  "CMakeFiles/tcn_stats.dir/tracer.cpp.o"
+  "CMakeFiles/tcn_stats.dir/tracer.cpp.o.d"
+  "libtcn_stats.a"
+  "libtcn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcn_stats.a"
+)

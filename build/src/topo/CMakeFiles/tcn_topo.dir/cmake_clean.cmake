@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_topo.dir/network.cpp.o"
+  "CMakeFiles/tcn_topo.dir/network.cpp.o.d"
+  "libtcn_topo.a"
+  "libtcn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/connection_pool.cpp" "src/transport/CMakeFiles/tcn_transport.dir/connection_pool.cpp.o" "gcc" "src/transport/CMakeFiles/tcn_transport.dir/connection_pool.cpp.o.d"
+  "/root/repo/src/transport/dcqcn.cpp" "src/transport/CMakeFiles/tcn_transport.dir/dcqcn.cpp.o" "gcc" "src/transport/CMakeFiles/tcn_transport.dir/dcqcn.cpp.o.d"
+  "/root/repo/src/transport/flow.cpp" "src/transport/CMakeFiles/tcn_transport.dir/flow.cpp.o" "gcc" "src/transport/CMakeFiles/tcn_transport.dir/flow.cpp.o.d"
+  "/root/repo/src/transport/ping.cpp" "src/transport/CMakeFiles/tcn_transport.dir/ping.cpp.o" "gcc" "src/transport/CMakeFiles/tcn_transport.dir/ping.cpp.o.d"
+  "/root/repo/src/transport/tcp_sender.cpp" "src/transport/CMakeFiles/tcn_transport.dir/tcp_sender.cpp.o" "gcc" "src/transport/CMakeFiles/tcn_transport.dir/tcp_sender.cpp.o.d"
+  "/root/repo/src/transport/tcp_sink.cpp" "src/transport/CMakeFiles/tcn_transport.dir/tcp_sink.cpp.o" "gcc" "src/transport/CMakeFiles/tcn_transport.dir/tcp_sink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tcn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_transport.dir/connection_pool.cpp.o"
+  "CMakeFiles/tcn_transport.dir/connection_pool.cpp.o.d"
+  "CMakeFiles/tcn_transport.dir/dcqcn.cpp.o"
+  "CMakeFiles/tcn_transport.dir/dcqcn.cpp.o.d"
+  "CMakeFiles/tcn_transport.dir/flow.cpp.o"
+  "CMakeFiles/tcn_transport.dir/flow.cpp.o.d"
+  "CMakeFiles/tcn_transport.dir/ping.cpp.o"
+  "CMakeFiles/tcn_transport.dir/ping.cpp.o.d"
+  "CMakeFiles/tcn_transport.dir/tcp_sender.cpp.o"
+  "CMakeFiles/tcn_transport.dir/tcp_sender.cpp.o.d"
+  "CMakeFiles/tcn_transport.dir/tcp_sink.cpp.o"
+  "CMakeFiles/tcn_transport.dir/tcp_sink.cpp.o.d"
+  "libtcn_transport.a"
+  "libtcn_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

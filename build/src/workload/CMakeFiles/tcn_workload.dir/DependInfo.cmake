@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distributions.cpp" "src/workload/CMakeFiles/tcn_workload.dir/distributions.cpp.o" "gcc" "src/workload/CMakeFiles/tcn_workload.dir/distributions.cpp.o.d"
+  "/root/repo/src/workload/incast.cpp" "src/workload/CMakeFiles/tcn_workload.dir/incast.cpp.o" "gcc" "src/workload/CMakeFiles/tcn_workload.dir/incast.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/tcn_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/tcn_workload.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/tcn_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tcn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tcn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcn_workload.dir/distributions.cpp.o"
+  "CMakeFiles/tcn_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/tcn_workload.dir/incast.cpp.o"
+  "CMakeFiles/tcn_workload.dir/incast.cpp.o.d"
+  "CMakeFiles/tcn_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/tcn_workload.dir/traffic_gen.cpp.o.d"
+  "libtcn_workload.a"
+  "libtcn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_property_test.dir/aqm_property_test.cpp.o"
+  "CMakeFiles/aqm_property_test.dir/aqm_property_test.cpp.o.d"
+  "aqm_property_test"
+  "aqm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

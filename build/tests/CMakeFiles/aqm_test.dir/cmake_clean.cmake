@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_test.dir/aqm_test.cpp.o"
+  "CMakeFiles/aqm_test.dir/aqm_test.cpp.o.d"
+  "aqm_test"
+  "aqm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

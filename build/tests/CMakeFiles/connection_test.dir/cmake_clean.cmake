@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_test.dir/connection_test.cpp.o"
+  "CMakeFiles/connection_test.dir/connection_test.cpp.o.d"
+  "connection_test"
+  "connection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcqcn_test.dir/dcqcn_test.cpp.o"
+  "CMakeFiles/dcqcn_test.dir/dcqcn_test.cpp.o.d"
+  "dcqcn_test"
+  "dcqcn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcqcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pie_test.dir/pie_test.cpp.o"
+  "CMakeFiles/pie_test.dir/pie_test.cpp.o.d"
+  "pie_test"
+  "pie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sack_delack_test.dir/sack_delack_test.cpp.o"
+  "CMakeFiles/sack_delack_test.dir/sack_delack_test.cpp.o.d"
+  "sack_delack_test"
+  "sack_delack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sack_delack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sack_delack_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcnsim.dir/tcnsim.cpp.o"
+  "CMakeFiles/tcnsim.dir/tcnsim.cpp.o.d"
+  "tcnsim"
+  "tcnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcnsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
