@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "topo/network.hpp"
 
 namespace tcn::core {
@@ -114,6 +115,20 @@ transport:
   --transport dctcp|ecnstar   (default dctcp)
   --sack --delayed-ack        TCP options
   --rto-min-us T              (default 10000 star / 5000 leafspine)
+faults / robustness:
+  --faults SPEC               ';'-separated fault list applied to the built
+                              topology (times in ms):
+                                linkdown:<target>:<start>:<duration>
+                                loss:<target>:<p>[:<start>:<duration>]
+                                geloss:<target>:<p>[:<burst_pkts>[:<start>:<duration>]]
+                                squeeze:<target>:<bytes>:<start>:<duration>
+                              <target> is a port-name glob ("leaf*", "*.nic",
+                              "sw0.p3") or a link pair "leaf0-spine2" (downs
+                              both directions). Example:
+                                --faults "geloss:leaf*:0.01;linkdown:leaf0-spine0:100:50"
+  --check-invariants          attach a runtime invariant checker (byte
+                              conservation, occupancy, timestamps) to every
+                              port and report the outcome
 misc:
   --seed S                    RNG seed (default 1)
   --help
@@ -203,6 +218,10 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
           static_cast<sim::Time>(to_double(flag, value()) * sim::kMicrosecond);
       cfg.tcp.rto_init = cfg.tcp.rto_min;
       rto_set = true;
+    } else if (flag == "--faults") {
+      cfg.faults = fault::parse_fault_specs(value());
+    } else if (flag == "--check-invariants") {
+      cfg.check_invariants = true;
     } else if (flag == "--seed") {
       cfg.seed = to_u64(flag, value());
     } else {
@@ -281,7 +300,28 @@ std::string format_report(const FctExperiment& cfg, const FctReport& r) {
       static_cast<unsigned long long>(r.switch_drops),
       static_cast<unsigned long long>(r.switch_marks),
       static_cast<unsigned long long>(r.events), sim::to_seconds(r.sim_end));
-  return buf;
+  std::string out = buf;
+  if (!cfg.faults.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "  faults: %zu spec(s)   fault drops: %llu (buffer drops "
+                  "reported above)\n",
+                  cfg.faults.size(),
+                  static_cast<unsigned long long>(r.fault_drops));
+    out += buf;
+  }
+  if (r.invariants_checked) {
+    if (r.invariant_violations == 0) {
+      std::snprintf(buf, sizeof buf, "  invariants: OK (%llu events checked)\n",
+                    static_cast<unsigned long long>(r.invariant_events));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "  invariants: %llu VIOLATION(S) -- first: %s\n",
+                    static_cast<unsigned long long>(r.invariant_violations),
+                    r.invariant_message.c_str());
+    }
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace tcn::core

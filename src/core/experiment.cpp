@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+#include "net/invariant.hpp"
 #include "net/switch.hpp"
 #include "pias/pias.hpp"
 #include "sim/simulator.hpp"
@@ -46,6 +48,24 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     ls.num_queues = sched.num_queues;
     return topo::build_leaf_spine(sim, ls, sched_factory, marker_factory);
   }();
+
+  // Fault plan and invariant checking attach to the freshly built topology
+  // before any traffic is scheduled; both must outlive the run.
+  fault::FaultInjector injector(sim, cfg.seed ^ 0xfa117a6c7ed5eedULL);
+  if (!cfg.faults.empty()) injector.apply(network, cfg.faults);
+
+  net::InvariantChecker checker(/*fail_fast=*/false);
+  if (cfg.check_invariants) {
+    for (std::size_t s = 0; s < network.num_switches(); ++s) {
+      auto& sw = network.switch_at(s);
+      for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+        sw.port(p).set_observer(&checker);
+      }
+    }
+    for (std::size_t h = 0; h < network.num_hosts(); ++h) {
+      network.host(h).nic().set_observer(&checker);
+    }
+  }
 
   stats::FctCollector fct;
   std::size_t flows_completed = 0;
@@ -147,7 +167,17 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     for (std::size_t p = 0; p < sw.num_ports(); ++p) {
       report.switch_drops += sw.port(p).counters().drops;
       report.switch_marks += sw.port(p).counters().marks;
+      report.fault_drops += sw.port(p).counters().fault_drops;
     }
+  }
+  for (std::size_t h = 0; h < network.num_hosts(); ++h) {
+    report.fault_drops += network.host(h).nic().counters().fault_drops;
+  }
+  if (cfg.check_invariants) {
+    report.invariants_checked = true;
+    report.invariant_events = checker.events_checked();
+    report.invariant_violations = checker.violations();
+    report.invariant_message = checker.first_violation();
   }
   return report;
 }

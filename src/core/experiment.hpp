@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/schemes.hpp"
+#include "fault/fault.hpp"
 #include "stats/fct.hpp"
 #include "transport/tcp.hpp"
 #include "workload/distributions.hpp"
@@ -50,6 +52,16 @@ struct FctExperiment {
   topo::StarConfig star;
   topo::LeafSpineConfig leaf_spine;
 
+  /// Declarative fault plan applied to the built topology before traffic
+  /// starts (link outages, random loss, buffer squeezes). See
+  /// fault::parse_fault_specs for the --faults grammar.
+  fault::FaultPlan faults;
+
+  /// Attach a net::InvariantChecker to every port (switch egresses and host
+  /// NICs) and report the outcome. Violations are collected, not thrown, so
+  /// a broken run still yields a report to debug from.
+  bool check_invariants = false;
+
   /// Hard stop; 0 means run until every flow completes or events drain.
   sim::Time time_limit = 0;
 };
@@ -58,10 +70,20 @@ struct FctReport {
   stats::FctSummary summary;
   std::size_t flows_started = 0;
   std::size_t flows_completed = 0;
-  std::uint64_t switch_drops = 0;
+  std::uint64_t switch_drops = 0;  ///< shared-buffer drops (congestion)
   std::uint64_t switch_marks = 0;
+  /// Packets blackholed by injected faults (downed links, random loss),
+  /// summed over every switch port and host NIC -- reported separately from
+  /// buffer drops so fault scenarios stay diagnosable.
+  std::uint64_t fault_drops = 0;
   std::uint64_t events = 0;
   sim::Time sim_end = 0;
+
+  // Populated when check_invariants was set.
+  bool invariants_checked = false;
+  std::uint64_t invariant_events = 0;
+  std::uint64_t invariant_violations = 0;
+  std::string invariant_message;  ///< first violation, empty when clean
 };
 
 /// Run one experiment; deterministic for a given config (seeded RNG,

@@ -16,15 +16,27 @@ Port::Port(sim::Simulator& sim, std::string name, PortConfig cfg,
       sched_(std::move(sched)),
       marker_(std::move(marker)),
       queues_(cfg.num_queues),
+      buffer_limit_(cfg.buffer_bytes),
       queue_drops_(cfg.num_queues, 0) {
+  if (cfg.rate_bps == 0) {
+    throw std::invalid_argument("Port: rate_bps must be > 0");
+  }
   if (cfg.num_queues == 0) {
     throw std::invalid_argument("Port: num_queues must be >= 1");
+  }
+  if (cfg.prop_delay < 0) {
+    throw std::invalid_argument("Port: prop_delay must be >= 0");
   }
   if (cfg.rate_limit_fraction <= 0.0 || cfg.rate_limit_fraction > 1.0) {
     throw std::invalid_argument("Port: rate_limit_fraction out of (0,1]");
   }
   if (!sched_ || !marker_) {
     throw std::invalid_argument("Port: scheduler and marker are required");
+  }
+  if (effective_rate_bps_ == 0) {
+    // Would divide by zero computing serialization times.
+    throw std::invalid_argument(
+        "Port: rate_bps * rate_limit_fraction rounds to zero");
   }
   sched_->bind(&queues_, effective_rate_bps_);
 }
@@ -49,10 +61,32 @@ void Port::connect(Node* peer, std::size_t peer_ingress) {
   peer_ingress_ = peer_ingress;
 }
 
+void Port::fault_drop(const Packet& p, std::size_t queue) {
+  ++counters_.fault_drops;
+  counters_.fault_drop_bytes += p.size;
+  if (observer_ != nullptr) emit(TraceEvent::kFaultDrop, p, queue);
+}
+
+void Port::set_link_up(bool up) {
+  if (link_up_ == up) return;
+  link_up_ = up;
+  // Whatever survived in the buffer resumes draining when the link heals.
+  if (up) try_transmit();
+}
+
 void Port::enqueue(PacketPtr p, std::size_t queue) {
-  assert(queue < queues_.size());
+  if (queue >= queues_.size()) {
+    throw std::invalid_argument("Port::enqueue(" + name_ + "): queue index " +
+                                std::to_string(queue) + " out of range [0, " +
+                                std::to_string(queues_.size()) + ")");
+  }
+  // A downed link blackholes new arrivals before buffer accounting.
+  if (!link_up_) {
+    fault_drop(*p, queue);
+    return;
+  }
   // Shared-buffer admission: tail drop on the port total.
-  if (total_bytes_ + p->size > cfg_.buffer_bytes) {
+  if (total_bytes_ + p->size > buffer_limit_) {
     ++counters_.drops;
     counters_.drop_bytes += p->size;
     ++queue_drops_[queue];
@@ -84,7 +118,7 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
 }
 
 void Port::try_transmit() {
-  if (busy_ || total_bytes_ == 0) return;
+  if (busy_ || !link_up_ || total_bytes_ == 0) return;
 
   const std::size_t q = sched_->select(sim_.now());
   assert(q < queues_.size() && !queues_[q].empty());
@@ -111,12 +145,23 @@ void Port::try_transmit() {
   const sim::Time tx = sim::transmission_time(p->size, effective_rate_bps_);
   busy_ = true;
   // Serialization finishes at now+tx; the packet then propagates for
-  // prop_delay before hitting the peer.
-  sim_.schedule_in(tx, [this, holder = PacketHolder(std::move(p))]() {
+  // prop_delay before hitting the peer. A link that goes down while the
+  // packet is on the wire (or a loss model firing at the end of
+  // serialization) blackholes it.
+  sim_.schedule_in(tx, [this, q, holder = PacketHolder(std::move(p))]() {
     busy_ = false;
-    if (peer_ != nullptr) {
-      sim_.schedule_in(cfg_.prop_delay, [this, holder]() {
-        peer_->receive(holder.take(), peer_ingress_);
+    PacketPtr pkt = holder.take();
+    if (!link_up_ || (loss_ != nullptr && loss_->should_drop(*pkt, sim_.now()))) {
+      fault_drop(*pkt, q);
+    } else if (peer_ != nullptr) {
+      sim_.schedule_in(cfg_.prop_delay,
+                       [this, q, fwd = PacketHolder(std::move(pkt))]() {
+        PacketPtr arriving = fwd.take();
+        if (!link_up_) {
+          fault_drop(*arriving, q);
+          return;
+        }
+        peer_->receive(std::move(arriving), peer_ingress_);
       });
     }
     try_transmit();

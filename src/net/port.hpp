@@ -27,6 +27,16 @@
 
 namespace tcn::net {
 
+/// Per-packet link-fault decision hook (fault injection). Consulted when a
+/// packet finishes serialization; returning true blackholes it on the wire.
+/// Concrete models (Bernoulli, Gilbert-Elliott) live in src/fault.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  virtual bool should_drop(const Packet& p, sim::Time now) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
 struct PortConfig {
   std::uint64_t rate_bps = 1'000'000'000;
   sim::Time prop_delay = 0;
@@ -49,17 +59,41 @@ class Port {
   /// Attach the far end of the link.
   void connect(Node* peer, std::size_t peer_ingress);
 
-  /// Submit a packet to queue `queue`. May drop (shared buffer full) or mark.
+  /// Submit a packet to queue `queue`. May drop (shared buffer full, link
+  /// down) or mark. Throws std::invalid_argument on an out-of-range queue.
   void enqueue(PacketPtr p, std::size_t queue);
+
+  /// Take the link down (blackholing in-flight and newly submitted packets
+  /// into the fault_drops counter) or bring it back up (resuming the drain
+  /// of whatever survived in the buffer).
+  void set_link_up(bool up);
+  [[nodiscard]] bool link_up() const noexcept { return link_up_; }
+
+  /// Attach (or detach with nullptr) a random-loss model applied to packets
+  /// leaving the port; it must outlive the port or be detached first.
+  void set_loss_model(LossModel* m) noexcept { loss_ = m; }
+
+  /// Transient shared-buffer squeeze: cap admission below the configured
+  /// buffer. Resident packets are not evicted; new arrivals tail-drop until
+  /// the occupancy drains under the new limit.
+  void set_buffer_limit(std::uint64_t bytes) noexcept { buffer_limit_ = bytes; }
+  void reset_buffer_limit() noexcept { buffer_limit_ = cfg_.buffer_bytes; }
+  [[nodiscard]] std::uint64_t buffer_limit() const noexcept {
+    return buffer_limit_;
+  }
 
   struct Counters {
     std::uint64_t enq_packets = 0;
     std::uint64_t enq_bytes = 0;
     std::uint64_t tx_packets = 0;
     std::uint64_t tx_bytes = 0;
-    std::uint64_t drops = 0;
+    std::uint64_t drops = 0;  ///< shared-buffer tail drops
     std::uint64_t drop_bytes = 0;
     std::uint64_t marks = 0;
+    /// Packets blackholed by injected faults (downed link, random loss) --
+    /// reported separately from buffer drops.
+    std::uint64_t fault_drops = 0;
+    std::uint64_t fault_drop_bytes = 0;
   };
 
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
@@ -86,6 +120,8 @@ class Port {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Scheduler& scheduler() noexcept { return *sched_; }
   [[nodiscard]] Marker& marker() noexcept { return *marker_; }
+  /// Far end of the link (nullptr until connect()).
+  [[nodiscard]] Node* peer() const noexcept { return peer_; }
 
   /// Attach (or detach with nullptr) a trace observer; it must outlive the
   /// port or be detached first.
@@ -94,6 +130,7 @@ class Port {
  private:
   void try_transmit();
   void emit(TraceEvent event, const Packet& p, std::size_t queue);
+  void fault_drop(const Packet& p, std::size_t queue);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -103,7 +140,10 @@ class Port {
   std::unique_ptr<Marker> marker_;
   std::vector<PacketQueue> queues_;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t buffer_limit_;
   bool busy_ = false;
+  bool link_up_ = true;
+  LossModel* loss_ = nullptr;
   Node* peer_ = nullptr;
   std::size_t peer_ingress_ = 0;
   Counters counters_;

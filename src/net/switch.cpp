@@ -59,9 +59,23 @@ void Switch::receive(PacketPtr p, std::size_t /*ingress*/) {
     return;
   }
   const auto& group = it->second;
-  const std::size_t out =
-      group.size() == 1 ? group[0]
-                        : group[flow_hash(*p) % group.size()];
+  std::size_t out = group[0];
+  if (group.size() > 1) {
+    const std::uint64_t hash = flow_hash(*p);
+    out = group[hash % group.size()];
+    // Steer around dead ECMP members: flows hashed onto a downed link are
+    // deterministically rehashed over the live members (like a fabric
+    // routing update); flows on healthy links keep their path.
+    if (!ports_[out]->link_up()) {
+      std::vector<std::size_t> alive;
+      alive.reserve(group.size());
+      for (const std::size_t member : group) {
+        if (ports_[member]->link_up()) alive.push_back(member);
+      }
+      // All members down: fall through and let the port blackhole it.
+      if (!alive.empty()) out = alive[hash % alive.size()];
+    }
+  }
   Port& port = *ports_[out];
   const std::size_t q = classifier_(*p, port.num_queues());
   port.enqueue(std::move(p), q);

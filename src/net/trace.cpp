@@ -8,6 +8,7 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kDequeue: return "deq";
     case TraceEvent::kDrop: return "drop";
     case TraceEvent::kMark: return "mark";
+    case TraceEvent::kFaultDrop: return "fdrop";
   }
   return "?";
 }

@@ -16,10 +16,11 @@ namespace tcn::net {
 struct Packet;
 
 enum class TraceEvent : std::uint8_t {
-  kEnqueue,  ///< packet admitted to a queue
-  kDequeue,  ///< packet leaves for the wire
-  kDrop,     ///< packet rejected by the shared buffer
-  kMark,     ///< CE applied (fires in addition to kEnqueue/kDequeue)
+  kEnqueue,    ///< packet admitted to a queue
+  kDequeue,    ///< packet leaves for the wire
+  kDrop,       ///< packet rejected by the shared buffer
+  kMark,       ///< CE applied (fires in addition to kEnqueue/kDequeue)
+  kFaultDrop,  ///< packet blackholed by an injected fault (link down / loss)
 };
 
 std::string_view trace_event_name(TraceEvent e);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace tcn::sim {
@@ -57,18 +58,39 @@ EventId Simulator::schedule_at(Time at, Callback cb) {
   return id;
 }
 
+// Every live cancelled id corresponds to a pending heap entry, so the
+// cancelled set can never legitimately outgrow the heap. Cancelling an id
+// that already fired breaks that correspondence; when it happens often
+// enough to matter, one O(pending) sweep reclaims every stale id -- the
+// sweep only triggers after >= heap-size stale inserts, so it stays
+// amortized O(1) per cancel and the hot path keeps zero side tables.
+void Simulator::purge_stale_cancels() {
+  std::unordered_set<EventId> pending;
+  pending.reserve(heap_.size());
+  for (const Entry& e : heap_) pending.insert(e.id);
+  for (auto it = cancelled_.begin(); it != cancelled_.end();) {
+    it = pending.contains(*it) ? std::next(it) : cancelled_.erase(it);
+  }
+}
+
 bool Simulator::cancel(EventId id) {
   if (id == kInvalidEvent || id >= next_id_) return false;
+  if (heap_.empty()) {
+    // Nothing is pending, so `id` must already have fired (or been
+    // reclaimed); any remembered ids are stale too.
+    cancelled_.clear();
+    return false;
+  }
   // Lazy deletion: remember the id; the heap entry is discarded when popped.
-  // Callers must not cancel an id they know has fired (all in-tree callers
-  // reset their stored EventId when the event runs); doing so is harmless
-  // but retains the id in the cancelled set.
-  return cancelled_.insert(id).second;
+  const bool inserted = cancelled_.insert(id).second;
+  if (cancelled_.size() > heap_.size()) purge_stale_cancels();
+  return inserted;
 }
 
 std::uint64_t Simulator::run(Time until) {
   stopped_ = false;
   std::uint64_t count = 0;
+  std::uint64_t storm = 0;
   while (!heap_.empty() && !stopped_) {
     if (heap_.front().at > until) break;
     Entry e = pop_entry();
@@ -80,11 +102,25 @@ std::uint64_t Simulator::run(Time until) {
       }
     }
     assert(e.at >= now_);
+    if (e.at == now_) {
+      if (++storm > storm_limit_) {
+        throw std::runtime_error(
+            "Simulator::run: event storm -- executed " +
+            std::to_string(storm) + " events without advancing past t=" +
+            std::to_string(now_) +
+            "ns (likely a livelocked component rescheduling itself at the "
+            "current time); " +
+            std::to_string(pending()) + " events still pending");
+      }
+    } else {
+      storm = 1;
+    }
     now_ = e.at;
     ++count;
     ++executed_;
     e.cb();
   }
+  if (heap_.empty()) cancelled_.clear();
   return count;
 }
 

@@ -41,13 +41,23 @@ class Simulator {
   }
 
   /// Cancel a pending event (lazy: the entry is skipped when popped).
-  /// Cancelling an already-fired or invalid id is a harmless no-op
-  /// (returns false).
+  /// Cancelling an invalid id is a harmless no-op (returns false).
+  /// Cancelling an id that already fired is also harmless: the stale entry
+  /// is reclaimed (amortized) so long fault-heavy runs cannot leak, though
+  /// the call may still return true.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or simulation time exceeds `until`.
   /// Returns the number of events executed.
+  /// Throws std::runtime_error if more than the event-storm limit of events
+  /// execute at one timestamp -- a livelocked component (an event chain that
+  /// never advances time) becomes a diagnostic error instead of a hang.
   std::uint64_t run(Time until = kTimeMax);
+
+  /// Adjust the same-timestamp event-storm watchdog (default 10M events).
+  void set_event_storm_limit(std::uint64_t limit) noexcept {
+    storm_limit_ = limit;
+  }
 
   /// Request that run() return after the current event completes.
   void stop() noexcept { stopped_ = true; }
@@ -60,6 +70,12 @@ class Simulator {
   /// Pending (non-cancelled) event count.
   [[nodiscard]] std::size_t pending() const noexcept {
     return heap_.size() - cancelled_.size();
+  }
+
+  /// Cancelled-but-not-yet-reclaimed entries (diagnostics; bounded by the
+  /// number of pending events).
+  [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
+    return cancelled_.size();
   }
 
  private:
@@ -78,11 +94,13 @@ class Simulator {
   void sift_down(std::size_t i);
   void push_entry(Entry e);
   Entry pop_entry();
+  void purge_stale_cancels();
 
   Time now_ = 0;
   bool stopped_ = false;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t storm_limit_ = 10'000'000;
   std::vector<Entry> heap_;  // binary min-heap by before()
   std::unordered_set<EventId> cancelled_;
 };

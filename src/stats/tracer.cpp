@@ -27,6 +27,7 @@ void FlowTraceSummary::on_event(const net::TraceRecord& rec) {
       ++s.marks;
       break;
     case net::TraceEvent::kDrop:
+    case net::TraceEvent::kFaultDrop:
       ++s.drops;
       break;
     case net::TraceEvent::kDequeue:

@@ -32,11 +32,50 @@ sim::Time star_host_delay_for_rtt(sim::Time target, sim::Time link_prop) {
   return residual / 4;
 }
 
+namespace {
+
+/// Shared sanity checks for topology configs; throws with a prefixed,
+/// actionable message instead of letting a bad value surface as a deep
+/// .at() throw or a divide-by-zero inside the port pipeline.
+void validate_common(const char* who, std::uint64_t link_rate_bps,
+                     std::size_t num_queues, std::uint64_t buffer_bytes,
+                     std::uint64_t host_buffer_bytes, sim::Time host_delay,
+                     sim::Time link_prop) {
+  const std::string prefix(who);
+  if (link_rate_bps == 0) {
+    throw std::invalid_argument(prefix + ": link_rate_bps must be > 0");
+  }
+  if (num_queues == 0) {
+    throw std::invalid_argument(prefix + ": num_queues must be >= 1");
+  }
+  if (buffer_bytes == 0) {
+    throw std::invalid_argument(prefix + ": buffer_bytes must be > 0");
+  }
+  if (host_buffer_bytes == 0) {
+    throw std::invalid_argument(prefix + ": host_buffer_bytes must be > 0");
+  }
+  if (host_delay < 0) {
+    throw std::invalid_argument(prefix + ": host_delay must be >= 0");
+  }
+  if (link_prop < 0) {
+    throw std::invalid_argument(prefix + ": link_prop must be >= 0");
+  }
+}
+
+}  // namespace
+
 Network build_star(sim::Simulator& sim, const StarConfig& cfg,
                    const SchedulerFactory& sched_factory,
                    const MarkerFactory& marker_factory) {
   if (cfg.num_hosts < 2) {
     throw std::invalid_argument("build_star: need at least 2 hosts");
+  }
+  validate_common("build_star", cfg.link_rate_bps, cfg.num_queues,
+                  cfg.buffer_bytes, cfg.host_buffer_bytes, cfg.host_delay,
+                  cfg.link_prop);
+  if (cfg.switch_rate_fraction <= 0.0 || cfg.switch_rate_fraction > 1.0) {
+    throw std::invalid_argument(
+        "build_star: switch_rate_fraction out of (0,1]");
   }
   Network net(sim);
   auto& sw = net.add_switch(std::make_unique<net::Switch>(sim, "sw0"));
@@ -74,6 +113,13 @@ Network build_star(sim::Simulator& sim, const StarConfig& cfg,
 Network build_leaf_spine(sim::Simulator& sim, const LeafSpineConfig& cfg,
                          const SchedulerFactory& sched_factory,
                          const MarkerFactory& marker_factory) {
+  if (cfg.num_leaves == 0 || cfg.num_spines == 0 || cfg.hosts_per_leaf == 0) {
+    throw std::invalid_argument(
+        "build_leaf_spine: need >= 1 leaf, spine and host per leaf");
+  }
+  validate_common("build_leaf_spine", cfg.link_rate_bps, cfg.num_queues,
+                  cfg.buffer_bytes, cfg.host_buffer_bytes, cfg.host_delay,
+                  cfg.link_prop);
   Network net(sim);
   const std::size_t num_hosts = cfg.num_leaves * cfg.hosts_per_leaf;
 

@@ -26,6 +26,11 @@ struct TcpConfig {
   sim::Time rto_min = 10 * sim::kMillisecond;
   sim::Time rto_init = 10 * sim::kMillisecond;
   sim::Time rto_max = 2 * sim::kSecond;
+  /// Cap on exponential RTO backoff doublings (2^max_rto_backoff x RTO,
+  /// still clamped by rto_max). Keeps a sender probing a blackholed path
+  /// often enough to recover promptly when the outage heals, instead of
+  /// backing off unboundedly.
+  std::uint32_t max_rto_backoff = 6;
   CongestionControl cc = CongestionControl::kDctcp;
   double dctcp_g = 1.0 / 16.0;  ///< alpha gain
   std::uint32_t dupack_threshold = 3;

@@ -308,7 +308,7 @@ void TcpSender::on_rto() {
   sacked_.clear();  // conservative: rebuild the scoreboard after an RTO
   rtx_high_ = 0;
   rtt_measuring_ = false;
-  if (backoff_ < 16) ++backoff_;
+  if (backoff_ < cfg_.max_rto_backoff) ++backoff_;
   send_available();
   arm_timer();
 }
@@ -318,7 +318,12 @@ void TcpSender::arm_timer() {
     timer_deadline_ = -1;
     return;
   }
-  const sim::Time rto = std::min<sim::Time>(cfg_.rto_max, rto_ << backoff_);
+  // Capped exponential backoff: at most 2^max_rto_backoff x RTO and never
+  // beyond rto_max, so a blackholed sender keeps probing at a bounded pace.
+  const std::uint32_t shift = std::min(backoff_, cfg_.max_rto_backoff);
+  const sim::Time rto =
+      shift >= 62 ? cfg_.rto_max
+                  : std::min<sim::Time>(cfg_.rto_max, rto_ << shift);
   timer_deadline_ = sim_.now() + rto;
   ensure_timer_event();
 }

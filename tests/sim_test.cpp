@@ -2,6 +2,8 @@
 // determinism, time arithmetic, RNG and empirical CDFs.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/ecdf.hpp"
@@ -138,6 +140,64 @@ TEST(Simulator, SelfReschedulingChain) {
   s.run();
   EXPECT_EQ(ticks, 100);
   EXPECT_EQ(s.now(), 99 * 5);
+}
+
+TEST(Simulator, CancelAfterFireDoesNotLeak) {
+  Simulator s;
+  std::vector<EventId> fired;
+  for (int i = 0; i < 100; ++i) fired.push_back(s.schedule_at(i + 1, [] {}));
+  s.run();
+  ASSERT_EQ(s.pending(), 0u);
+  // Regression: cancelling ids that already fired used to park them in the
+  // cancelled set forever. With an empty heap they must be recognised as
+  // stale immediately.
+  for (const EventId id : fired) EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
+
+TEST(Simulator, StaleCancelBacklogBoundedByPending) {
+  Simulator s;
+  // A few far-future events keep the heap non-empty while many already-fired
+  // ids get cancelled -- the leak scenario when timers race their own firing.
+  for (int i = 0; i < 4; ++i) s.schedule_at(1'000'000 + i, [] {});
+  std::vector<EventId> fired;
+  for (int i = 0; i < 1000; ++i) fired.push_back(s.schedule_at(i + 1, [] {}));
+  s.run(500'000);
+  ASSERT_EQ(s.pending(), 4u);
+  for (const EventId id : fired) s.cancel(id);
+  EXPECT_LE(s.cancelled_backlog(), s.pending());
+  // The far-future events were never cancelled and still run.
+  EXPECT_EQ(s.run(), 4u);
+  EXPECT_EQ(s.cancelled_backlog(), 0u);
+}
+
+TEST(Simulator, CancelInvalidAndUnknownIds) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  EXPECT_FALSE(s.cancel(EventId{999}));  // never issued
+  EXPECT_EQ(s.run(), 1u);
+}
+
+TEST(Simulator, EventStormWatchdogThrows) {
+  Simulator s;
+  s.set_event_storm_limit(1000);
+  std::function<void()> chain = [&] { s.schedule_at(s.now(), chain); };
+  s.schedule_at(5, chain);
+  EXPECT_THROW(s.run(), std::runtime_error);
+  EXPECT_EQ(s.now(), 5);  // livelock was pinned at the stuck timestamp
+}
+
+TEST(Simulator, EventStormCounterResetsOnTimeAdvance) {
+  Simulator s;
+  s.set_event_storm_limit(10);
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) s.schedule_in(1, tick);  // time advances every event
+  };
+  s.schedule_at(0, tick);
+  EXPECT_NO_THROW(s.run());
+  EXPECT_EQ(ticks, 100);
 }
 
 TEST(Rng, Deterministic) {
