@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   auto base = bench::testbed_base();
   base.sched.kind = core::SchedKind::kPifoStfq;
 
-  bench::run_fct_sweep(
+  const int rc = bench::run_fct_sweep(
+      "ablation_pifo",
       "Ablation: TCN under a PIFO scheduler running an STFQ program "
       "(web search, 4 services)",
       base,
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
        {"CoDel", core::Scheme::kCodel},
        {"RED-queue", core::Scheme::kRedPerQueue}},
       args);
+  if (rc != 0) return rc;
   std::printf("Expected shape: same ordering as Fig. 6/7 -- TCN needs no "
               "changes for a programmable scheduler,\nwhile the static "
               "standard threshold keeps hurting small flows.\n");

@@ -19,12 +19,14 @@ int main(int argc, char** argv) {
   base.params.tcn_tmax = 384 * sim::kMicrosecond;
   base.params.tcn_pmax = 1.0;
 
-  bench::run_fct_sweep(
+  const int rc = bench::run_fct_sweep(
+      "ablation_prob_tcn",
       "Ablation: probabilistic TCN (Tmin=128us, Tmax=384us, Pmax=1) vs "
       "single-threshold TCN (T=256us)",
       base,
       {{"TCN", core::Scheme::kTcn}, {"TCN-prob", core::Scheme::kTcnProb}},
       args);
+  if (rc != 0) return rc;
   std::printf("Expected shape: near-identical columns -- the probabilistic "
               "extension preserves TCN's behaviour\nwhile providing the "
               "smooth marking curve DCQCN-class transports need.\n");

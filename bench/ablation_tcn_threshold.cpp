@@ -2,7 +2,12 @@
 // setting (Eq. 3); this sweep shows the latency/throughput tradeoff around
 // it: smaller T cuts small-flow latency but starts costing large-flow
 // throughput; larger T drifts toward standard-RED latency.
+//
+// The five threshold points are independent runs, so they execute as one
+// runner job list across --jobs workers; the printed table is aggregated by
+// job index and thus identical for any job count.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -15,30 +20,49 @@ int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv, defaults);
   const double load = args.loads[0];
 
+  const std::vector<sim::Time> thresholds_us = {64, 128, 256, 512, 1024};
+  std::vector<runner::Job> jobs;
+  for (const sim::Time t_us : thresholds_us) {
+    runner::Job j;
+    j.group = "ablation_tcn_threshold";
+    j.label = "T=" + std::to_string(t_us) + "us";
+    j.cfg = bench::testbed_base();
+    j.cfg.sched.kind = core::SchedKind::kDwrr;
+    j.cfg.scheme = core::Scheme::kTcn;
+    j.cfg.params.rtt_lambda = t_us * sim::kMicrosecond;
+    j.cfg.load = load;
+    j.cfg.num_flows = args.flows;
+    j.cfg.seed = args.seed;
+    jobs.push_back(std::move(j));
+  }
+
+  const auto res = runner::run_jobs(std::move(jobs), bench::sweep_options(args));
+  if (!res.ok()) {
+    std::fprintf(stderr, "ablation_tcn_threshold: %zu run(s) failed\n",
+                 res.failed);
+    return 1;
+  }
+
   std::printf("=== Ablation: TCN sojourn threshold sweep (testbed isolation "
               "setup, DWRR x4, web search, load %.0f%%) ===\n\n",
               load * 100);
   std::printf("%10s | %12s | %12s | %12s | %12s | %10s\n", "T (us)",
               "avg all us", "avg small us", "p99 small us", "avg large us",
               "marks");
-  for (const sim::Time t_us : {64, 128, 256, 512, 1024}) {
-    auto cfg = bench::testbed_base();
-    cfg.sched.kind = core::SchedKind::kDwrr;
-    cfg.scheme = core::Scheme::kTcn;
-    cfg.params.rtt_lambda = t_us * sim::kMicrosecond;
-    cfg.load = load;
-    cfg.num_flows = args.flows;
-    cfg.seed = args.seed;
-    const auto report = core::run_fct_experiment(cfg);
+  for (std::size_t i = 0; i < res.runs.size(); ++i) {
+    const auto& report = res.runs[i].report;
     std::printf("%10lld | %12.1f | %12.1f | %12.1f | %12.1f | %10llu\n",
-                static_cast<long long>(t_us), report.summary.avg_all_us,
-                report.summary.avg_small_us, report.summary.p99_small_us,
-                report.summary.avg_large_us,
+                static_cast<long long>(thresholds_us[i]),
+                report.summary.avg_all_us, report.summary.avg_small_us,
+                report.summary.p99_small_us, report.summary.avg_large_us,
                 static_cast<unsigned long long>(report.switch_marks));
   }
   std::printf("\nExpected shape: small-flow FCT grows with T; large-flow FCT "
               "suffers when T is far below the base RTT\n(premature marks "
               "throttle throughput). T ~= RTT x lambda (256us here) balances "
               "both -- the paper's setting.\n");
+  if (!args.json.empty()) {
+    runner::write_json_file(res, "ablation_tcn_threshold", args.json);
+  }
   return 0;
 }

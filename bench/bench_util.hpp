@@ -1,14 +1,22 @@
-// Shared helpers for the figure-reproduction benches: CLI parsing and the
-// normalized-FCT table printer used by every dynamic-workload figure.
+// Shared helpers for the figure-reproduction benches: the one CLI parser
+// every fig*/ablation* binary uses, and the normalized-FCT table printer
+// driven by the parallel sweep runner (src/runner). Every dynamic-workload
+// figure is a scheme x load grid of independent core::FctExperiment runs,
+// executed by runner::run_sweep across --jobs worker threads and aggregated
+// by job index, so the printed tables and the optional BENCH_*.json are
+// byte-identical for any job count.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runner/results.hpp"
+#include "runner/sweep.hpp"
 
 namespace tcn::bench {
 
@@ -16,6 +24,11 @@ struct Args {
   std::size_t flows = 2000;
   std::vector<double> loads = {0.3, 0.5, 0.7, 0.9};
   std::uint64_t seed = 1;
+  /// Worker threads for the sweep; 0 = one per hardware thread.
+  std::size_t jobs = 0;
+  /// Write structured results (schema tcn-bench-1) here; empty = no JSON,
+  /// "-" = stdout.
+  std::string json;
 
   static Args parse(int argc, char** argv, const Args& defaults) {
     Args a = defaults;
@@ -32,6 +45,10 @@ struct Args {
         a.flows = std::strtoull(next(), nullptr, 10);
       } else if (flag == "--seed") {
         a.seed = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--jobs") {
+        a.jobs = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--json") {
+        a.json = next();
       } else if (flag == "--loads") {
         a.loads.clear();
         std::string list = next();
@@ -43,8 +60,13 @@ struct Args {
           pos = comma + 1;
         }
       } else if (flag == "--help" || flag == "-h") {
-        std::printf("usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n",
-                    argv[0]);
+        std::printf(
+            "usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n"
+            "          [--jobs N] [--json PATH]\n"
+            "  --jobs N    parallel sweep workers (0 = one per core; output\n"
+            "              is byte-identical for any value)\n"
+            "  --json PATH write per-run structured results (tcn-bench-1)\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
@@ -60,41 +82,48 @@ struct SchemeRun {
   core::Scheme scheme;
 };
 
-/// Runs `base` for every (scheme x load) and prints the figure's four panels:
-/// overall avg / small avg / small p99 / large avg FCT, normalized to the
-/// first scheme in `schemes` (the paper normalizes to TCN). Also prints TCN's
-/// raw microseconds and the timeout counts that explain the tails.
-inline void run_fct_sweep(const char* title, core::FctExperiment base,
-                          const std::vector<SchemeRun>& schemes,
-                          const Args& args) {
-  base.num_flows = args.flows;
-  base.seed = args.seed;
-
-  std::printf("=== %s ===\n", title);
-  std::printf("flows/run=%zu seed=%llu\n\n", args.flows,
-              static_cast<unsigned long long>(args.seed));
-
-  struct Cell {
-    stats::FctSummary s;
-    std::size_t completed = 0;
-    std::uint64_t drops = 0;
-  };
-  std::vector<std::vector<Cell>> grid(args.loads.size(),
-                                      std::vector<Cell>(schemes.size()));
-
-  for (std::size_t li = 0; li < args.loads.size(); ++li) {
-    for (std::size_t si = 0; si < schemes.size(); ++si) {
-      core::FctExperiment cfg = base;
-      cfg.scheme = schemes[si].scheme;
-      cfg.load = args.loads[li];
-      const auto report = core::run_fct_experiment(cfg);
-      grid[li][si] = {report.summary, report.flows_completed,
-                      report.switch_drops};
-      std::fprintf(stderr, "  [%s load=%.0f%%] done (%zu/%zu flows)\n",
-                   schemes[si].name.c_str(), args.loads[li] * 100,
-                   report.flows_completed, args.flows);
+/// Progress printer for SweepOptions::on_done (stderr, completion order --
+/// progress lines are the one output allowed to vary with --jobs).
+inline runner::SweepOptions sweep_options(const Args& args) {
+  runner::SweepOptions opt;
+  opt.jobs = args.jobs;
+  opt.on_done = [](const runner::RunRecord& r) {
+    if (r.skipped) return;
+    if (!r.ok) {
+      std::fprintf(stderr, "  [%s load=%.0f%%] FAILED: %s\n",
+                   r.job.label.c_str(), r.job.cfg.load * 100,
+                   r.error.c_str());
+      return;
     }
-  }
+    std::fprintf(stderr,
+                 "  [%s load=%.0f%%] done (%zu/%zu flows, %.0f ms, "
+                 "%.2fM ev/s)\n",
+                 r.job.label.c_str(), r.job.cfg.load * 100,
+                 r.report.flows_completed, r.job.cfg.num_flows, r.wall_ms,
+                 r.events_per_sec / 1e6);
+  };
+  return opt;
+}
+
+/// Prints the figure's four normalized panels plus the timeout table from
+/// sweep records laid out load-major then scheme (SweepSpec::expand order
+/// with a single seed and flow count). `first` is the index of the slice's
+/// first record inside `runs` (nonzero when several figures share one
+/// suite-wide sweep).
+inline void print_fct_tables(const char* title,
+                             const std::vector<SchemeRun>& schemes,
+                             const std::vector<double>& loads,
+                             const std::vector<runner::RunRecord>& runs,
+                             std::size_t first, std::size_t flows,
+                             std::uint64_t seed) {
+  std::printf("=== %s ===\n", title);
+  std::printf("flows/run=%zu seed=%llu\n\n", flows,
+              static_cast<unsigned long long>(seed));
+
+  const std::size_t num_schemes = schemes.size();
+  auto rec = [&](std::size_t li, std::size_t si) -> const runner::RunRecord& {
+    return runs[first + li * num_schemes + si];
+  };
 
   auto panel = [&](const char* name, auto metric) {
     std::printf("-- %s (normalized to %s; >1 means worse) --\n", name,
@@ -102,11 +131,11 @@ inline void run_fct_sweep(const char* title, core::FctExperiment base,
     std::printf("%6s", "load");
     for (const auto& s : schemes) std::printf(" %12s", s.name.c_str());
     std::printf(" %14s\n", (schemes[0].name + " (us)").c_str());
-    for (std::size_t li = 0; li < args.loads.size(); ++li) {
-      std::printf("%5.0f%%", args.loads[li] * 100);
-      const double ref = metric(grid[li][0].s);
-      for (std::size_t si = 0; si < schemes.size(); ++si) {
-        const double v = metric(grid[li][si].s);
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      std::printf("%5.0f%%", loads[li] * 100);
+      const double ref = metric(rec(li, 0).report.summary);
+      for (std::size_t si = 0; si < num_schemes; ++si) {
+        const double v = metric(rec(li, si).report.summary);
         if (ref > 0) {
           std::printf(" %12.3f", v / ref);
         } else {
@@ -118,7 +147,8 @@ inline void run_fct_sweep(const char* title, core::FctExperiment base,
     std::printf("\n");
   };
 
-  panel("overall avg FCT", [](const stats::FctSummary& s) { return s.avg_all_us; });
+  panel("overall avg FCT",
+        [](const stats::FctSummary& s) { return s.avg_all_us; });
   panel("small flows (0,100KB] avg FCT",
         [](const stats::FctSummary& s) { return s.avg_small_us; });
   panel("small flows 99th percentile FCT",
@@ -130,19 +160,55 @@ inline void run_fct_sweep(const char* title, core::FctExperiment base,
   std::printf("%6s", "load");
   for (const auto& s : schemes) std::printf(" %18s", s.name.c_str());
   std::printf("\n");
-  for (std::size_t li = 0; li < args.loads.size(); ++li) {
-    std::printf("%5.0f%%", args.loads[li] * 100);
-    for (std::size_t si = 0; si < schemes.size(); ++si) {
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    std::printf("%5.0f%%", loads[li] * 100);
+    for (std::size_t si = 0; si < num_schemes; ++si) {
       char buf[32];
       std::snprintf(buf, sizeof buf, "%llu/%llu",
                     static_cast<unsigned long long>(
-                        grid[li][si].s.small_timeouts),
-                    static_cast<unsigned long long>(grid[li][si].drops));
+                        rec(li, si).report.summary.small_timeouts),
+                    static_cast<unsigned long long>(
+                        rec(li, si).report.switch_drops));
       std::printf(" %18s", buf);
     }
     std::printf("\n");
   }
   std::printf("\n");
+}
+
+/// Build the scheme x load SweepSpec a figure bench runs.
+inline runner::SweepSpec fct_sweep_spec(const char* name,
+                                        core::FctExperiment base,
+                                        const std::vector<SchemeRun>& schemes,
+                                        const Args& args) {
+  base.num_flows = args.flows;
+  base.seed = args.seed;
+  runner::SweepSpec spec;
+  spec.name = name;
+  spec.base = std::move(base);
+  spec.loads = args.loads;
+  for (const auto& s : schemes) spec.schemes.emplace_back(s.name, s.scheme);
+  return spec;
+}
+
+/// Runs `base` for every (scheme x load) across --jobs workers and prints
+/// the figure's panels; writes BENCH json when --json was given. Returns an
+/// exit code (nonzero when any run failed).
+inline int run_fct_sweep(const char* name, const char* title,
+                         core::FctExperiment base,
+                         const std::vector<SchemeRun>& schemes,
+                         const Args& args) {
+  const auto spec = fct_sweep_spec(name, std::move(base), schemes, args);
+  const auto res = runner::run_sweep(spec, sweep_options(args));
+  if (!res.ok()) {
+    std::fprintf(stderr, "%s: %zu run(s) failed, %zu skipped\n", name,
+                 res.failed, res.skipped);
+    return 1;
+  }
+  print_fct_tables(title, schemes, args.loads, res.runs, 0, args.flows,
+                   args.seed);
+  if (!args.json.empty()) runner::write_json_file(res, name, args.json);
+  return 0;
 }
 
 /// Common testbed configuration (Sec. 6.1): 9 servers, 1GbE, base RTT 250us,

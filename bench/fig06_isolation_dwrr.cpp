@@ -4,20 +4,10 @@
 // Paper shape: all schemes tie on overall and large-flow FCT; TCN and MQ-ECN
 // cut small-flow avg FCT by up to ~61% and p99 by up to ~73% vs per-queue
 // RED with the standard threshold; CoDel's slow reaction costs it the p99.
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  const auto args = bench::Args::parse(argc, argv, {});
-  auto cfg = bench::testbed_base();
-  cfg.sched.kind = core::SchedKind::kDwrr;
-  cfg.num_services = 4;
-  bench::run_fct_sweep(
-      "Fig. 6: service isolation, DWRR x4, DCTCP, web search", cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"MQ-ECN", core::Scheme::kMqEcn},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig06();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

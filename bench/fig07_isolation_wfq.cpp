@@ -1,21 +1,10 @@
 // Figure 7: inter-service traffic isolation, WFQ (4 equal-weight queues),
 // DCTCP, web search workload. MQ-ECN is excluded: it does not support WFQ
 // (no rounds to measure) -- the gap TCN closes.
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  const auto args = bench::Args::parse(argc, argv, {});
-  auto cfg = bench::testbed_base();
-  cfg.sched.kind = core::SchedKind::kWfq;
-  cfg.num_services = 4;
-  bench::run_fct_sweep(
-      "Fig. 7: service isolation, WFQ x4, DCTCP, web search (no MQ-ECN: "
-      "unsupported scheduler)",
-      cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig07();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

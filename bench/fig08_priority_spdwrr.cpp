@@ -5,23 +5,10 @@
 // strict queue); TCN still beats per-queue standard RED by up to 82.8% avg /
 // 95.3% p99 for small flows because RED's buffer pressure drops high-priority
 // packets in the shared buffer, and beats CoDel's p99 by up to 84%.
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  const auto args = bench::Args::parse(argc, argv, {});
-  auto cfg = bench::testbed_base();
-  cfg.sched.kind = core::SchedKind::kSpDwrr;
-  cfg.sched.num_sp = 1;
-  cfg.pias = true;
-  cfg.num_services = 4;
-  bench::run_fct_sweep(
-      "Fig. 8: prioritization, SP1/DWRR4 + PIAS, DCTCP, web search (no "
-      "MQ-ECN: SP unsupported)",
-      cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig08();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

@@ -1,21 +1,10 @@
 // Figure 9: traffic prioritization, SP (1 queue) / WFQ (4 queues), DCTCP,
 // web search, PIAS two-priority tagging. Same expectations as Fig. 8 with
 // the WFQ inner scheduler.
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  const auto args = bench::Args::parse(argc, argv, {});
-  auto cfg = bench::testbed_base();
-  cfg.sched.kind = core::SchedKind::kSpWfq;
-  cfg.sched.num_sp = 1;
-  cfg.pias = true;
-  cfg.num_services = 4;
-  bench::run_fct_sweep(
-      "Fig. 9: prioritization, SP1/WFQ4 + PIAS, DCTCP, web search", cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig09();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

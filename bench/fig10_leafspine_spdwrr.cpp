@@ -6,23 +6,10 @@
 // flows up to 38% lower avg FCT and up to 94% lower p99 (timeouts are the
 // tail: RED with SP/DWRR suffered 589 small-flow timeouts at 90% load, TCN
 // only 46).
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  bench::Args defaults;
-  defaults.flows = 2000;  // ~0.75s of arrivals; raise for tighter tails
-  defaults.loads = {0.6, 0.9};
-  const auto args = bench::Args::parse(argc, argv, defaults);
-  auto cfg = bench::leafspine_base();
-  cfg.sched.kind = core::SchedKind::kSpDwrr;
-  cfg.sched.num_sp = 1;
-  bench::run_fct_sweep(
-      "Fig. 10: leaf-spine, SP1/DWRR7 + PIAS, DCTCP, 4 workloads x 7 services",
-      cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig10();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

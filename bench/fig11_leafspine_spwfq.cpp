@@ -1,23 +1,10 @@
 // Figure 11: large-scale leaf-spine, SP (1) / WFQ (7) queues, DCTCP, PIAS.
 // Same expectations as Fig. 10 with the WFQ inner scheduler (which MQ-ECN
 // cannot serve at all).
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  bench::Args defaults;
-  defaults.flows = 2000;  // ~0.75s of arrivals; raise for tighter tails
-  defaults.loads = {0.6, 0.9};
-  const auto args = bench::Args::parse(argc, argv, defaults);
-  auto cfg = bench::leafspine_base();
-  cfg.sched.kind = core::SchedKind::kSpWfq;
-  cfg.sched.num_sp = 1;
-  bench::run_fct_sweep(
-      "Fig. 11: leaf-spine, SP1/WFQ7 + PIAS, DCTCP, 4 workloads x 7 services",
-      cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig11();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

@@ -5,25 +5,10 @@
 // Paper shape: ECN* is the most threshold-sensitive transport, yet TCN stays
 // within ~2% of per-queue standard RED on large flows while keeping its big
 // small-flow wins.
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  bench::Args defaults;
-  defaults.flows = 2000;  // ~0.75s of arrivals; raise for tighter tails
-  defaults.loads = {0.6, 0.9};
-  const auto args = bench::Args::parse(argc, argv, defaults);
-  auto cfg = bench::leafspine_base();
-  cfg.sched.kind = core::SchedKind::kSpDwrr;
-  cfg.sched.num_sp = 1;
-  cfg.tcp.cc = transport::CongestionControl::kEcnStar;
-  cfg.params.rtt_lambda = 101 * sim::kMicrosecond;
-  cfg.params.red_threshold_bytes = 84 * 1'500;
-  bench::run_fct_sweep(
-      "Fig. 12: leaf-spine, SP1/DWRR7 + PIAS, ECN* transport", cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig12();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

@@ -5,26 +5,10 @@
 // Paper shape: per-queue standard RED degrades further with more queues
 // (4478 vs 2469 timeouts at 90% load); TCN's advantage on small flows grows
 // (38.7% -> 47.8% lower avg FCT).
-#include "bench_util.hpp"
+#include "figures.hpp"
 
 int main(int argc, char** argv) {
-  using namespace tcn;
-  bench::Args defaults;
-  defaults.flows = 2000;  // ~0.75s of arrivals; raise for tighter tails
-  defaults.loads = {0.6, 0.9};
-  const auto args = bench::Args::parse(argc, argv, defaults);
-  auto cfg = bench::leafspine_base();
-  cfg.sched.kind = core::SchedKind::kSpDwrr;
-  cfg.sched.num_sp = 1;
-  cfg.num_service_queues = 31;
-  cfg.tcp.cc = transport::CongestionControl::kEcnStar;
-  cfg.params.rtt_lambda = 101 * sim::kMicrosecond;
-  cfg.params.red_threshold_bytes = 84 * 1'500;
-  bench::run_fct_sweep(
-      "Fig. 13: leaf-spine, SP1/DWRR31 + PIAS, ECN*, 32 queues", cfg,
-      {{"TCN", core::Scheme::kTcn},
-       {"CoDel", core::Scheme::kCodel},
-       {"RED-queue", core::Scheme::kRedPerQueue}},
-      args);
-  return 0;
+  const auto def = tcn::bench::fig13();
+  const auto args = tcn::bench::Args::parse(argc, argv, def.defaults);
+  return tcn::bench::run_figure(def, args);
 }

@@ -1,0 +1,185 @@
+// Central definitions of the dynamic-workload figures (6-13): one
+// FigureDef per figure carrying its base experiment, scheme list, title and
+// per-figure CLI defaults. The fig* binaries and the suite runner
+// (bench/suite.cpp) share these so a figure's configuration exists exactly
+// once.
+#pragma once
+
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace tcn::bench {
+
+struct FigureDef {
+  const char* name;   ///< short id, used for Job::group and JSON names
+  const char* title;  ///< table heading
+  core::FctExperiment base;
+  std::vector<SchemeRun> schemes;
+  Args defaults;  ///< per-figure flows/loads defaults
+};
+
+/// Figure 6: inter-service traffic isolation, DWRR (4 equal-quantum
+/// queues), DCTCP, web search workload, loads 10-90%.
+inline FigureDef fig06() {
+  FigureDef def;
+  def.name = "fig06";
+  def.title = "Fig. 6: service isolation, DWRR x4, DCTCP, web search";
+  def.base = testbed_base();
+  def.base.sched.kind = core::SchedKind::kDwrr;
+  def.base.num_services = 4;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"MQ-ECN", core::Scheme::kMqEcn},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  return def;
+}
+
+/// Figure 7: isolation under WFQ. MQ-ECN is excluded: it does not support
+/// WFQ (no rounds to measure) -- the gap TCN closes.
+inline FigureDef fig07() {
+  FigureDef def;
+  def.name = "fig07";
+  def.title =
+      "Fig. 7: service isolation, WFQ x4, DCTCP, web search (no MQ-ECN: "
+      "unsupported scheduler)";
+  def.base = testbed_base();
+  def.base.sched.kind = core::SchedKind::kWfq;
+  def.base.num_services = 4;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  return def;
+}
+
+/// Figure 8: traffic prioritization, SP (1) / DWRR (4), DCTCP, PIAS
+/// two-priority tagging (first 100KB -> high priority).
+inline FigureDef fig08() {
+  FigureDef def;
+  def.name = "fig08";
+  def.title =
+      "Fig. 8: prioritization, SP1/DWRR4 + PIAS, DCTCP, web search (no "
+      "MQ-ECN: SP unsupported)";
+  def.base = testbed_base();
+  def.base.sched.kind = core::SchedKind::kSpDwrr;
+  def.base.sched.num_sp = 1;
+  def.base.pias = true;
+  def.base.num_services = 4;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  return def;
+}
+
+/// Figure 9: prioritization under SP/WFQ.
+inline FigureDef fig09() {
+  FigureDef def;
+  def.name = "fig09";
+  def.title = "Fig. 9: prioritization, SP1/WFQ4 + PIAS, DCTCP, web search";
+  def.base = testbed_base();
+  def.base.sched.kind = core::SchedKind::kSpWfq;
+  def.base.sched.num_sp = 1;
+  def.base.pias = true;
+  def.base.num_services = 4;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  return def;
+}
+
+namespace detail {
+inline Args leafspine_defaults() {
+  Args a;
+  a.flows = 2000;  // ~0.75s of arrivals; raise for tighter tails
+  a.loads = {0.6, 0.9};
+  return a;
+}
+}  // namespace detail
+
+/// Figure 10: large-scale leaf-spine (144 hosts, 12x12, 10G), SP (1) /
+/// DWRR (7), DCTCP, PIAS; 7 services cycling the four Fig. 4 workloads.
+inline FigureDef fig10() {
+  FigureDef def;
+  def.name = "fig10";
+  def.title =
+      "Fig. 10: leaf-spine, SP1/DWRR7 + PIAS, DCTCP, 4 workloads x 7 "
+      "services";
+  def.base = leafspine_base();
+  def.base.sched.kind = core::SchedKind::kSpDwrr;
+  def.base.sched.num_sp = 1;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  def.defaults = detail::leafspine_defaults();
+  return def;
+}
+
+/// Figure 11: leaf-spine under SP/WFQ.
+inline FigureDef fig11() {
+  FigureDef def;
+  def.name = "fig11";
+  def.title =
+      "Fig. 11: leaf-spine, SP1/WFQ7 + PIAS, DCTCP, 4 workloads x 7 "
+      "services";
+  def.base = leafspine_base();
+  def.base.sched.kind = core::SchedKind::kSpWfq;
+  def.base.sched.num_sp = 1;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  def.defaults = detail::leafspine_defaults();
+  return def;
+}
+
+/// Figure 12: transport robustness -- Fig. 10's setup with ECN* (plain ECN
+/// TCP, halve on echo) instead of DCTCP; K = 84 packets, T = 101us.
+inline FigureDef fig12() {
+  FigureDef def;
+  def.name = "fig12";
+  def.title = "Fig. 12: leaf-spine, SP1/DWRR7 + PIAS, ECN* transport";
+  def.base = leafspine_base();
+  def.base.sched.kind = core::SchedKind::kSpDwrr;
+  def.base.sched.num_sp = 1;
+  def.base.tcp.cc = transport::CongestionControl::kEcnStar;
+  def.base.params.rtt_lambda = 101 * sim::kMicrosecond;
+  def.base.params.red_threshold_bytes = 84 * 1'500;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  def.defaults = detail::leafspine_defaults();
+  return def;
+}
+
+/// Figure 13: queue-count robustness -- Fig. 12's setup with 32 switch
+/// queues (1 strict + 31 DWRR), flows hashed uniformly onto the 31 service
+/// queues.
+inline FigureDef fig13() {
+  FigureDef def;
+  def.name = "fig13";
+  def.title = "Fig. 13: leaf-spine, SP1/DWRR31 + PIAS, ECN*, 32 queues";
+  def.base = leafspine_base();
+  def.base.sched.kind = core::SchedKind::kSpDwrr;
+  def.base.sched.num_sp = 1;
+  def.base.num_service_queues = 31;
+  def.base.tcp.cc = transport::CongestionControl::kEcnStar;
+  def.base.params.rtt_lambda = 101 * sim::kMicrosecond;
+  def.base.params.red_threshold_bytes = 84 * 1'500;
+  def.schemes = {{"TCN", core::Scheme::kTcn},
+                 {"CoDel", core::Scheme::kCodel},
+                 {"RED-queue", core::Scheme::kRedPerQueue}};
+  def.defaults = detail::leafspine_defaults();
+  return def;
+}
+
+/// Every FCT-sweep figure, in paper order -- the suite binary's work list.
+inline std::vector<FigureDef> figure_suite() {
+  return {fig06(), fig07(), fig08(), fig09(),
+          fig10(), fig11(), fig12(), fig13()};
+}
+
+/// Run one figure standalone (the fig* binaries' main).
+inline int run_figure(const FigureDef& def, const Args& args) {
+  return run_fct_sweep(def.name, def.title, def.base, def.schemes, args);
+}
+
+}  // namespace tcn::bench

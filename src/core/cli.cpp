@@ -129,6 +129,13 @@ faults / robustness:
   --check-invariants          attach a runtime invariant checker (byte
                               conservation, occupancy, timestamps) to every
                               port and report the outcome
+sweep execution (tool-level flags, handled by tcnsim itself):
+  --loads l1,l2,...           run a load sweep (cross product with --seeds)
+  --seeds s1,s2,...           run a seed sweep
+  --jobs N                    parallel sweep workers (0 = one per core);
+                              aggregated output is byte-identical for any N
+  --json PATH                 write structured per-run results, schema
+                              tcn-bench-1 ("-" = stdout)
 misc:
   --seed S                    RNG seed (default 1)
   --help

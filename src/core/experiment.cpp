@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "net/invariant.hpp"
+#include "net/packet.hpp"
 #include "net/switch.hpp"
 #include "pias/pias.hpp"
 #include "sim/simulator.hpp"
@@ -26,6 +27,11 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   if (cfg.num_services == 0 || cfg.service_workloads.empty()) {
     throw std::invalid_argument("FctExperiment: services misconfigured");
   }
+
+  // Per-run packet uids: every experiment numbers its packets 1, 2, 3, ...
+  // so traces are reproducible under the parallel sweep runner no matter
+  // which worker thread or in what order this run executes.
+  net::PacketUidScope uid_scope;
 
   const std::size_t num_sp = is_hybrid(cfg.sched.kind) ? cfg.sched.num_sp : 0;
   const std::size_t num_service_queues =

@@ -3,11 +3,27 @@
 #include <atomic>
 
 namespace tcn::net {
+namespace {
+
+// Innermost uid scope installed on this thread; nullptr outside any scope.
+thread_local PacketUidScope* tls_uid_scope = nullptr;
+
+}  // namespace
+
+PacketUidScope::PacketUidScope() noexcept : prev_(tls_uid_scope) {
+  tls_uid_scope = this;
+}
+
+PacketUidScope::~PacketUidScope() { tls_uid_scope = prev_; }
 
 PacketPtr make_packet() {
-  static std::atomic<std::uint64_t> next_uid{1};
   auto p = std::make_unique<Packet>();
-  p->uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  if (tls_uid_scope != nullptr) {
+    p->uid = tls_uid_scope->next();
+  } else {
+    static std::atomic<std::uint64_t> next_uid{1};
+    p->uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  }
   return p;
 }
 

@@ -73,8 +73,38 @@ struct Packet {
 
 using PacketPtr = std::unique_ptr<Packet>;
 
-/// Factory with a process-wide uid counter (uids are only for tracing and do
-/// not affect simulation behaviour).
+/// RAII scope that makes packet uid allocation per-simulation instead of
+/// process-global. While a scope is alive on a thread, make_packet() draws
+/// uids 1, 2, 3, ... from the scope's own counter, so per-run traces and
+/// logs are identical regardless of thread interleaving or run order --
+/// the determinism contract the parallel sweep runner relies on.
+///
+/// Scopes nest (an inner scope shadows the outer one and restores it on
+/// destruction) and are thread-local: concurrent simulations on different
+/// worker threads each install their own scope and never contend. Without a
+/// scope, make_packet() falls back to the old process-wide atomic counter,
+/// which stays unique but not reproducible across interleavings.
+class PacketUidScope {
+ public:
+  PacketUidScope() noexcept;
+  ~PacketUidScope();
+  PacketUidScope(const PacketUidScope&) = delete;
+  PacketUidScope& operator=(const PacketUidScope&) = delete;
+
+  /// Next uid in this scope (1-based).
+  std::uint64_t next() noexcept { return ++counter_; }
+
+  /// Uids handed out so far.
+  [[nodiscard]] std::uint64_t allocated() const noexcept { return counter_; }
+
+ private:
+  std::uint64_t counter_ = 0;
+  PacketUidScope* prev_;  ///< shadowed scope restored on destruction
+};
+
+/// Factory: uids come from the innermost PacketUidScope on this thread, or
+/// a process-wide atomic counter when no scope is installed (uids are only
+/// for tracing and do not affect simulation behaviour).
 PacketPtr make_packet();
 
 /// Copyable owner used to move a PacketPtr through std::function event

@@ -1,0 +1,107 @@
+#include "runner/results.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "runner/json.hpp"
+
+namespace tcn::runner {
+namespace {
+
+const char* topology_name(core::FctExperiment::Topology t) {
+  return t == core::FctExperiment::Topology::kStarConverge ? "star"
+                                                           : "leafspine";
+}
+
+void write_run(JsonWriter& w, const RunRecord& r, bool include_timing) {
+  const auto& cfg = r.job.cfg;
+  w.begin_object();
+  w.key("index").value(r.job.index);
+  w.key("group").value(r.job.group);
+  w.key("label").value(r.job.label);
+  w.key("scheme").value(core::scheme_name(cfg.scheme));
+  w.key("sched").value(core::sched_name(cfg.sched.kind));
+  w.key("topology").value(topology_name(cfg.topology));
+  w.key("load").value(cfg.load);
+  w.key("flows").value(cfg.num_flows);
+  w.key("seed").value(cfg.seed);
+  w.key("ok").value(r.ok);
+  w.key("skipped").value(r.skipped);
+  w.key("error").value(r.error);
+
+  const auto& s = r.report.summary;
+  w.key("fct").begin_object();
+  w.key("count").value(s.count);
+  w.key("avg_all_us").value(s.avg_all_us);
+  w.key("small_count").value(s.small_count);
+  w.key("avg_small_us").value(s.avg_small_us);
+  w.key("p99_small_us").value(s.p99_small_us);
+  w.key("large_count").value(s.large_count);
+  w.key("avg_large_us").value(s.avg_large_us);
+  w.key("timeouts").value(s.timeouts);
+  w.key("small_timeouts").value(s.small_timeouts);
+  w.end_object();
+
+  w.key("counters").begin_object();
+  w.key("switch_drops").value(r.report.switch_drops);
+  w.key("switch_marks").value(r.report.switch_marks);
+  w.key("fault_drops").value(r.report.fault_drops);
+  w.end_object();
+
+  w.key("flows_started").value(r.report.flows_started);
+  w.key("flows_completed").value(r.report.flows_completed);
+  w.key("events").value(r.report.events);
+  w.key("sim_end_s").value(sim::to_seconds(r.report.sim_end));
+  w.key("wall_ms").value(include_timing ? r.wall_ms : 0.0);
+  w.key("events_per_sec").value(include_timing ? r.events_per_sec : 0.0);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const SweepResult& res, const std::string& name,
+                    bool include_timing) {
+  std::uint64_t total_events = 0;
+  for (const auto& r : res.runs) total_events += r.report.events;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("tcn-bench-1");
+  w.key("name").value(name);
+  w.key("jobs").value(include_timing ? res.jobs_used : std::size_t{0});
+  w.key("wall_ms").value(include_timing ? res.wall_ms : 0.0);
+  w.key("totals").begin_object();
+  w.key("runs").value(res.runs.size());
+  w.key("completed").value(res.completed);
+  w.key("failed").value(res.failed);
+  w.key("skipped").value(res.skipped);
+  w.key("events").value(total_events);
+  w.end_object();
+  w.key("runs").begin_array();
+  for (const auto& r : res.runs) write_run(w, r, include_timing);
+  w.end_array();
+  w.end_object();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+void write_json_file(const SweepResult& res, const std::string& name,
+                     const std::string& path) {
+  const std::string doc = to_json(res, name);
+  if (path == "-") {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int close_err = std::fclose(f);
+  if (n != doc.size() || close_err != 0) {
+    throw std::runtime_error("short write to '" + path + "'");
+  }
+}
+
+}  // namespace tcn::runner

@@ -1,0 +1,44 @@
+// Structured results layer: serialize a SweepResult to the BENCH_*.json
+// schema so the perf trajectory of the reproduction is machine-readable.
+//
+// Schema "tcn-bench-1" (key order is fixed; see runner_test.cpp golden):
+//   {
+//     "schema": "tcn-bench-1",
+//     "name": "<sweep name>",
+//     "jobs": <worker threads used>,
+//     "wall_ms": <whole-sweep wall clock>,         // non-deterministic
+//     "totals": { "runs", "completed", "failed", "skipped", "events" },
+//     "runs": [ {
+//        "index", "group", "label", "scheme", "sched", "topology",
+//        "load", "flows", "seed", "ok", "skipped", "error",
+//        "fct": { "count", "avg_all_us", "small_count", "avg_small_us",
+//                 "p99_small_us", "large_count", "avg_large_us",
+//                 "timeouts", "small_timeouts" },
+//        "counters": { "switch_drops", "switch_marks", "fault_drops" },
+//        "flows_started", "flows_completed", "events", "sim_end_s",
+//        "wall_ms", "events_per_sec"                // non-deterministic
+//     } ]
+//   }
+//
+// Every field except the wall-clock ones is bit-deterministic for a given
+// sweep spec, independent of --jobs (see sweep.hpp).
+#pragma once
+
+#include <string>
+
+#include "runner/sweep.hpp"
+
+namespace tcn::runner {
+
+/// Serialize; `include_timing=false` zeroes the host-execution metadata
+/// ("jobs", "wall_ms", "events_per_sec"), giving a fully deterministic
+/// document (used by the determinism tests).
+std::string to_json(const SweepResult& res, const std::string& name,
+                    bool include_timing = true);
+
+/// Write `to_json` to `path` ("-" writes to stdout). Throws
+/// std::runtime_error on I/O failure.
+void write_json_file(const SweepResult& res, const std::string& name,
+                     const std::string& path);
+
+}  // namespace tcn::runner

@@ -1,0 +1,139 @@
+#include "runner/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/thread_pool.hpp"
+
+namespace tcn::runner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::size_t effective_workers(std::size_t requested, std::size_t num_jobs) {
+  std::size_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  if (num_jobs > 0 && n > num_jobs) n = num_jobs;
+  return n == 0 ? 1 : n;
+}
+
+std::vector<Job> SweepSpec::expand() const {
+  if (schemes.empty()) {
+    throw std::invalid_argument("SweepSpec: no schemes");
+  }
+  if (loads.empty()) {
+    throw std::invalid_argument("SweepSpec: no loads");
+  }
+  const std::vector<std::uint64_t> seed_list =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+  const std::vector<std::size_t> flow_list =
+      flows.empty() ? std::vector<std::size_t>{base.num_flows} : flows;
+
+  std::vector<Job> jobs;
+  jobs.reserve(loads.size() * schemes.size() * seed_list.size() *
+               flow_list.size());
+  for (const double load : loads) {
+    for (const auto& [label, scheme] : schemes) {
+      for (const std::uint64_t seed : seed_list) {
+        for (const std::size_t nflows : flow_list) {
+          Job j;
+          j.index = jobs.size();
+          j.group = name;
+          j.label = label;
+          j.cfg = base;
+          j.cfg.scheme = scheme;
+          j.cfg.load = load;
+          j.cfg.seed = seed;
+          j.cfg.num_flows = nflows;
+          jobs.push_back(std::move(j));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+SweepResult run_jobs(std::vector<Job> jobs, const SweepOptions& opt) {
+  const auto sweep_start = Clock::now();
+
+  SweepResult res;
+  res.runs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].index = i;
+
+  CancelToken cancel;
+  std::mutex mu;  // guards counters + on_done serialization
+
+  auto run_one = [&](Job& job) {
+    RunRecord rec;
+    const std::size_t slot = job.index;
+    rec.job = std::move(job);
+    if (opt.cancel_on_failure && cancel.cancelled()) {
+      rec.skipped = true;
+      rec.error = "cancelled";
+    } else {
+      const auto t0 = Clock::now();
+      try {
+        rec.report = core::run_fct_experiment(rec.job.cfg);
+        rec.ok = true;
+      } catch (const std::exception& e) {
+        rec.error = e.what();
+      } catch (...) {
+        rec.error = "unknown exception";
+      }
+      rec.wall_ms = ms_since(t0);
+      if (rec.ok && rec.wall_ms > 0.0) {
+        rec.events_per_sec =
+            static_cast<double>(rec.report.events) / (rec.wall_ms / 1000.0);
+      }
+      if (!rec.ok && opt.cancel_on_failure) cancel.cancel();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (rec.ok) {
+        ++res.completed;
+      } else if (rec.skipped) {
+        ++res.skipped;
+      } else {
+        ++res.failed;
+      }
+      if (opt.on_done) opt.on_done(rec);
+      // Slot assignment is race-free by construction (unique index per
+      // job); done under the lock anyway so on_done observes a consistent
+      // runs vector.
+      res.runs[slot] = std::move(rec);
+    }
+  };
+
+  res.jobs_used = effective_workers(opt.jobs, jobs.size());
+  if (res.jobs_used <= 1) {
+    for (auto& job : jobs) run_one(job);
+  } else {
+    ThreadPool pool(res.jobs_used);
+    for (auto& job : jobs) {
+      pool.submit([&run_one, &job] { run_one(job); });
+    }
+    pool.wait_idle();
+    pool.shutdown();
+  }
+
+  res.wall_ms = ms_since(sweep_start);
+  return res;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
+  return run_jobs(spec.expand(), opt);
+}
+
+}  // namespace tcn::runner

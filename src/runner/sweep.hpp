@@ -1,0 +1,97 @@
+// Sweep orchestration: expand a scheme x load x seed x flows grid into
+// independent jobs, execute them on a fixed-size worker pool (each job gets
+// a fully isolated sim::Simulator/topology built inside
+// core::run_fct_experiment), and aggregate results **by job index**.
+//
+// Determinism contract: every job is self-contained (own simulator, own
+// seeded RNGs, per-simulation packet uids via net::PacketUidScope), and
+// results land in a preallocated slot keyed by job index, so the aggregated
+// output -- tables and BENCH_*.json alike -- is byte-identical for any
+// `jobs` value, including 1. The only fields exempt from the contract are
+// the wall-clock measurements (RunRecord::wall_ms / events_per_sec), which
+// measure the host, not the simulation.
+//
+// Failure policy: the first job that throws flips a shared CancelToken;
+// jobs that have not started yet are recorded as skipped instead of run
+// (cooperative cancellation -- a 2000-run sweep does not grind on after its
+// configuration is proven broken).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace tcn::runner {
+
+/// One unit of work: a fully specified experiment plus labels for reporting.
+struct Job {
+  std::size_t index = 0;  ///< slot in SweepResult::runs (assigned by run_jobs)
+  std::string group;      ///< sweep/figure name, e.g. "fig06"
+  std::string label;      ///< scheme label as printed in tables, e.g. "TCN"
+  core::FctExperiment cfg;
+};
+
+struct RunRecord {
+  Job job;
+  bool ok = false;
+  bool skipped = false;  ///< cancelled before it started
+  std::string error;     ///< what() of the failure, or "cancelled"
+  core::FctReport report;
+  // Host-side measurements; excluded from the determinism contract.
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  std::size_t jobs = 1;
+  /// Cancel remaining jobs once one fails (see header comment).
+  bool cancel_on_failure = true;
+  /// Progress callback, invoked as each job finishes (completion order, not
+  /// index order). Calls are serialized by the runner.
+  std::function<void(const RunRecord&)> on_done;
+};
+
+struct SweepResult {
+  std::vector<RunRecord> runs;  ///< runs[i] is job i -- always index order
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  std::size_t jobs_used = 1;  ///< worker threads actually spawned
+  double wall_ms = 0.0;       ///< whole-sweep wall clock
+
+  [[nodiscard]] bool ok() const noexcept {
+    return failed == 0 && skipped == 0;
+  }
+};
+
+/// Execute `jobs` (reindexed 0..n-1 in the given order) and collect results
+/// deterministically. The per-job simulation is single-threaded; parallelism
+/// is across jobs only.
+SweepResult run_jobs(std::vector<Job> jobs, const SweepOptions& opt = {});
+
+/// A declarative grid. Expansion order is loads-major, then schemes, then
+/// seeds, then flows -- so with a single seed and flow count, job index
+/// `li * schemes.size() + si` is (load li, scheme si), which is what the
+/// figure table printers rely on.
+struct SweepSpec {
+  std::string name;  ///< used for Job::group and the JSON "name" field
+  core::FctExperiment base;
+  std::vector<std::pair<std::string, core::Scheme>> schemes;
+  std::vector<double> loads;
+  std::vector<std::uint64_t> seeds;   ///< empty -> {base.seed}
+  std::vector<std::size_t> flows;     ///< empty -> {base.num_flows}
+
+  [[nodiscard]] std::vector<Job> expand() const;
+};
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opt = {});
+
+/// Number of worker threads `opt.jobs` resolves to for `num_jobs` jobs.
+std::size_t effective_workers(std::size_t requested, std::size_t num_jobs);
+
+}  // namespace tcn::runner

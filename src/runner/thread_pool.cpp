@@ -1,0 +1,74 @@
+#include "runner/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace tcn::runner {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(/*discard_pending=*/true); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown(bool discard_pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (discard_pending) queue_.clear();
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  // Everything is joined; wake any wait_idle() caller observing the drain.
+  idle_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      // Sweep jobs catch their own exceptions; anything that escapes here
+      // is a harness bug, but crashing a worker would hang wait_idle().
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tcn::runner

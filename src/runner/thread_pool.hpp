@@ -1,0 +1,80 @@
+// Fixed-size worker pool for the sweep runner.
+//
+// Deliberately small: a FIFO task queue, N workers, wait_idle() as the
+// completion barrier, and shutdown() with an optional discard of queued
+// tasks (cooperative cancellation drains the queue without running it).
+// Determinism note: the pool never reorders *results* -- sweep jobs write
+// into preallocated slots by job index -- so scheduling order only affects
+// wall-clock, never output bytes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcn::runner {
+
+/// Shared cancellation flag. Jobs poll it before starting expensive work;
+/// the first failure sets it so the rest of a sweep is skipped, not run.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Waits for running tasks, discards queued ones, joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown(). Tasks must
+  /// not throw; a task that does is swallowed (the sweep layer catches and
+  /// records its own exceptions).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished and the queue is empty.
+  void wait_idle();
+
+  /// Stop the pool and join workers. `discard_pending` drops tasks that
+  /// have not started; otherwise they run to completion first.
+  void shutdown(bool discard_pending = false);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Tasks that have run to completion (diagnostics / tests).
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // wait_idle: queue empty and none active
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace tcn::runner

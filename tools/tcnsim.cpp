@@ -1,16 +1,54 @@
 // tcnsim: run any TCN paper experiment from the command line.
 //
 //   tcnsim --scheme tcn --sched wfq --load 0.8 --flows 2000
-//   tcnsim --topology leafspine --scheme red --sched sp-dwrr --pias \
+//   tcnsim --topology leafspine --scheme red --sched sp-dwrr --pias
 //          --transport ecnstar --load 0.9
+//   tcnsim --loads 0.3,0.5,0.7,0.9 --seeds 1,2,3,4 --jobs 4
+//          --json BENCH_tcnsim.json
 //
-// See tcnsim --help for every flag.
+// With --loads/--seeds the cross product runs as a parallel sweep on
+// --jobs worker threads (src/runner); per-run reports print in grid order
+// -- byte-identical for any job count -- and --json writes the structured
+// results (schema tcn-bench-1). See tcnsim --help for every flag.
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/cli.hpp"
+#include "runner/results.hpp"
+#include "runner/sweep.hpp"
+
+namespace {
+
+std::uint64_t to_u64(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const auto n = std::stoull(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return n;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": expected an integer, got '" + v +
+                                "'");
+  }
+}
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::string token;
+  for (std::size_t pos = 0; pos <= list.size(); ++pos) {
+    if (pos == list.size() || list[pos] == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += list[pos];
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -21,10 +59,86 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    const auto cfg = tcn::core::parse_cli(args);
-    const auto report = tcn::core::run_fct_experiment(cfg);
-    std::fputs(tcn::core::format_report(cfg, report).c_str(), stdout);
-    return 0;
+    // Sweep-level flags are handled here; everything else configures the
+    // experiment via the library parser.
+    std::size_t jobs = 1;
+    std::string json_path;
+    std::vector<double> loads;
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::string> rest;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& flag = args[i];
+      auto value = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument(flag + ": missing value");
+        }
+        return args[++i];
+      };
+      if (flag == "--jobs") {
+        jobs = to_u64(flag, value());
+      } else if (flag == "--json") {
+        json_path = value();
+      } else if (flag == "--loads") {
+        for (const auto& t : split_list(value())) {
+          loads.push_back(std::strtod(t.c_str(), nullptr));
+        }
+        if (loads.empty()) throw std::invalid_argument("--loads: empty list");
+      } else if (flag == "--seeds") {
+        for (const auto& t : split_list(value())) {
+          seeds.push_back(to_u64(flag, t));
+        }
+        if (seeds.empty()) throw std::invalid_argument("--seeds: empty list");
+      } else {
+        rest.push_back(flag);
+      }
+    }
+
+    const auto cfg = tcn::core::parse_cli(rest);
+
+    const bool single =
+        loads.size() <= 1 && seeds.size() <= 1 && json_path.empty();
+    if (single) {
+      auto one = cfg;
+      if (!loads.empty()) one.load = loads[0];
+      if (!seeds.empty()) one.seed = seeds[0];
+      const auto report = tcn::core::run_fct_experiment(one);
+      std::fputs(tcn::core::format_report(one, report).c_str(), stdout);
+      return 0;
+    }
+
+    tcn::runner::SweepSpec spec;
+    spec.name = "tcnsim";
+    spec.base = cfg;
+    spec.schemes = {{tcn::core::scheme_name(cfg.scheme), cfg.scheme}};
+    spec.loads = loads.empty() ? std::vector<double>{cfg.load} : loads;
+    if (!seeds.empty()) spec.seeds = seeds;
+
+    tcn::runner::SweepOptions opt;
+    opt.jobs = jobs;
+    opt.on_done = [](const tcn::runner::RunRecord& r) {
+      if (r.skipped) return;
+      std::fprintf(stderr, "  [load=%.0f%% seed=%llu] %s (%.0f ms)\n",
+                   r.job.cfg.load * 100,
+                   static_cast<unsigned long long>(r.job.cfg.seed),
+                   r.ok ? "done" : r.error.c_str(), r.wall_ms);
+    };
+    const auto res = tcn::runner::run_sweep(spec, opt);
+
+    for (const auto& r : res.runs) {
+      std::printf("== load=%.0f%% seed=%llu ==\n", r.job.cfg.load * 100,
+                  static_cast<unsigned long long>(r.job.cfg.seed));
+      if (r.ok) {
+        std::fputs(tcn::core::format_report(r.job.cfg, r.report).c_str(),
+                   stdout);
+      } else {
+        std::printf("  %s: %s\n", r.skipped ? "skipped" : "FAILED",
+                    r.error.c_str());
+      }
+    }
+    if (!json_path.empty()) {
+      tcn::runner::write_json_file(res, "tcnsim", json_path);
+    }
+    return res.ok() ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tcnsim: %s\n", e.what());
     return 2;
