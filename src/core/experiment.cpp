@@ -33,6 +33,15 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   // which worker thread or in what order this run executes.
   net::PacketUidScope uid_scope;
 
+  // Per-run packet pool (sibling of the uid scope): every make_packet() in
+  // this run draws from a private free list and recycles back into it, so
+  // steady-state packet churn never touches the heap and concurrent sweep
+  // jobs never share packet storage. Declared before the simulator and
+  // topology so in-flight packets recycle into a still-live pool during
+  // teardown (destruction is reverse declaration order).
+  net::PacketPool packet_pool;
+  net::PacketPool::Scope packet_pool_scope(packet_pool);
+
   const std::size_t num_sp = is_hybrid(cfg.sched.kind) ? cfg.sched.num_sp : 0;
   const std::size_t num_service_queues =
       cfg.num_service_queues > 0 ? cfg.num_service_queues : cfg.num_services;
@@ -168,6 +177,13 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   report.flows_completed = flows_completed;
   report.events = sim.events_executed();
   report.sim_end = sim.now();
+  // Pool telemetry: fresh/reused/recycled are deterministic for a given
+  // config (single-threaded run, LIFO free list); live() at this point is
+  // packets still in flight when the run stopped (drained runs recycle on
+  // teardown, after this snapshot).
+  report.pool_fresh = packet_pool.fresh_allocs();
+  report.pool_reused = packet_pool.reuses();
+  report.pool_recycled = packet_pool.recycles();
   for (std::size_t s = 0; s < network.num_switches(); ++s) {
     auto& sw = network.switch_at(s);
     for (std::size_t p = 0; p < sw.num_ports(); ++p) {

@@ -79,6 +79,14 @@ struct FctReport {
   std::uint64_t events = 0;
   sim::Time sim_end = 0;
 
+  // Packet-pool telemetry (deterministic per config): fresh slab growths,
+  // zero-allocation free-list reuses, and packets returned to the pool.
+  // pool_fresh bounds the run's peak live packet population; pool_reused
+  // >> pool_fresh is the steady-state zero-allocation signature.
+  std::uint64_t pool_fresh = 0;
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_recycled = 0;
+
   // Populated when check_invariants was set.
   bool invariants_checked = false;
   std::uint64_t invariant_events = 0;

@@ -28,8 +28,8 @@ void Host::send(PacketPtr p) {
     nic_->enqueue(std::move(p), 0);
     return;
   }
-  sim_.schedule_in(stack_delay_, [this, holder = PacketHolder(std::move(p))]() {
-    nic_->enqueue(holder.take(), 0);
+  sim_.schedule_in(stack_delay_, [this, pkt = std::move(p)]() mutable {
+    nic_->enqueue(std::move(pkt), 0);
   });
 }
 
@@ -49,9 +49,10 @@ void Host::receive(PacketPtr p, std::size_t /*ingress*/) {
     deliver(std::move(p));
     return;
   }
-  sim_.schedule_in(
-      stack_delay_,
-      [deliver, holder = PacketHolder(std::move(p))]() { deliver(holder.take()); });
+  sim_.schedule_in(stack_delay_,
+                   [deliver, pkt = std::move(p)]() mutable {
+                     deliver(std::move(pkt));
+                   });
 }
 
 }  // namespace tcn::net

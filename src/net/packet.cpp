@@ -7,6 +7,8 @@ namespace {
 
 // Innermost uid scope installed on this thread; nullptr outside any scope.
 thread_local PacketUidScope* tls_uid_scope = nullptr;
+// Innermost packet pool installed on this thread; nullptr outside any scope.
+thread_local PacketPool* tls_pool = nullptr;
 
 }  // namespace
 
@@ -16,8 +18,59 @@ PacketUidScope::PacketUidScope() noexcept : prev_(tls_uid_scope) {
 
 PacketUidScope::~PacketUidScope() { tls_uid_scope = prev_; }
 
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  if (p == nullptr) return;
+  if (pool != nullptr) {
+    pool->recycle(p);
+  } else {
+    delete p;
+  }
+}
+
+PacketPtr PacketPool::acquire() {
+  Packet* p;
+  if (free_.empty()) {
+    slab_.emplace_back();
+    p = &slab_.back();
+    ++fresh_;
+  } else {
+    p = free_.back();
+    free_.pop_back();
+    // Recycled packets must be indistinguishable from fresh ones: full
+    // reset, including pool_free (the assignment clears it).
+    *p = Packet{};
+    ++reused_;
+  }
+  return PacketPtr(p, PacketDeleter{this});
+}
+
+void PacketPool::recycle(Packet* p) noexcept {
+  if (p == nullptr) return;
+  if (p->pool_free) {
+    // Double recycle: the packet is already on the free list. Pushing it
+    // again would hand the same storage to two owners later; dropping the
+    // call keeps the free list consistent (slab storage is never freed
+    // while the pool lives, so this is memory-safe, just counted).
+    ++double_recycled_;
+    return;
+  }
+  p->pool_free = true;
+  free_.push_back(p);
+  ++recycled_;
+}
+
+PacketPool::Scope::Scope(PacketPool& pool) noexcept : prev_(tls_pool) {
+  tls_pool = &pool;
+}
+
+PacketPool::Scope::~Scope() { tls_pool = prev_; }
+
+PacketPool* PacketPool::current() noexcept { return tls_pool; }
+
 PacketPtr make_packet() {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = tls_pool != nullptr
+                    ? tls_pool->acquire()
+                    : PacketPtr(new Packet(), PacketDeleter{nullptr});
   if (tls_uid_scope != nullptr) {
     p->uid = tls_uid_scope->next();
   } else {

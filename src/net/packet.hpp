@@ -1,13 +1,18 @@
-// Packet model.
+// Packet model and the per-simulation packet pool.
 //
 // One struct covers TCP data/ACK segments and ping probes. Packets are owned
-// by exactly one component at a time and moved along the path as
-// std::unique_ptr<Packet>; queues, links and transports never share them.
+// by exactly one component at a time and moved along the path as a PacketPtr
+// (a unique_ptr with a pool-aware deleter); queues, links and transports
+// never share them. With a PacketPool::Scope installed, every make_packet()
+// draws from a per-run free list and every PacketPtr destruction recycles
+// into it, so steady-state packet churn performs zero heap allocations.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -69,9 +74,101 @@ struct Packet {
     return ecn == Ecn::kEct0 || ecn == Ecn::kEct1;
   }
   [[nodiscard]] bool ce() const noexcept { return ecn == Ecn::kCe; }
+
+  /// Pool-internal: true while the packet sits on its pool's free list.
+  /// Lets PacketPool detect double-recycle misuse without a side table;
+  /// not a wire field and reset on every acquire.
+  bool pool_free = false;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+class PacketPool;
+
+/// Deleter behind PacketPtr: recycles into the owning pool, or plain-deletes
+/// packets allocated outside any pool scope. Captured per-packet at
+/// make_packet() time, so a packet always returns to the pool it came from
+/// even if scopes changed in between.
+struct PacketDeleter {
+  PacketPool* pool = nullptr;
+  void operator()(Packet* p) const noexcept;
+};
+
+/// Owning handle to a packet. Exactly one component holds it at a time;
+/// destruction recycles pooled packets instead of freeing them.
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Per-simulation packet free list.
+//
+// Packets are backed by a std::deque slab (stable addresses, freed only when
+// the pool is destroyed); acquire() pops the free list LIFO -- cache-warm
+// reuse -- and falls back to growing the slab. Single-threaded by design:
+// one pool per simulation run, installed thread-locally via PacketPool::Scope
+// exactly like PacketUidScope, so concurrent sweep jobs never contend or
+// share packets.
+//
+// Lifetime rule: the pool must outlive every PacketPtr drawn from it --
+// declare it before the Simulator/topology in a run (destruction is reverse
+// order, so in-flight packets recycle into a still-live pool). Misuse
+// downgrades gracefully: because slab memory is never freed while the pool
+// lives, a double-recycle is detected via Packet::pool_free, counted, and
+// dropped instead of corrupting the free list.
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Pop a recycled packet (reset to a default-constructed state) or grow
+  /// the slab. The uid is NOT assigned here -- make_packet() owns uids.
+  [[nodiscard]] PacketPtr acquire();
+
+  /// Return a packet to the free list. Called by PacketDeleter; callable
+  /// directly in tests. Double-recycling the same packet is detected and
+  /// ignored (see double_recycles()).
+  void recycle(Packet* p) noexcept;
+
+  /// Packets created fresh from the slab (heap growth events).
+  [[nodiscard]] std::uint64_t fresh_allocs() const noexcept { return fresh_; }
+  /// Packets served from the free list (zero-allocation acquires).
+  [[nodiscard]] std::uint64_t reuses() const noexcept { return reused_; }
+  /// Packets returned to the free list.
+  [[nodiscard]] std::uint64_t recycles() const noexcept { return recycled_; }
+  /// Detected double-recycle misuses (0 in a correct program).
+  [[nodiscard]] std::uint64_t double_recycles() const noexcept {
+    return double_recycled_;
+  }
+  /// Packets currently held by the simulation (acquired, not yet recycled).
+  [[nodiscard]] std::uint64_t live() const noexcept {
+    return fresh_ + reused_ - recycled_;
+  }
+  /// Free-list depth right now.
+  [[nodiscard]] std::size_t free_size() const noexcept {
+    return free_.size();
+  }
+
+  /// RAII scope installing this pool as the thread's make_packet() source.
+  /// Nests like PacketUidScope (inner scope shadows, destructor restores).
+  class Scope {
+   public:
+    explicit Scope(PacketPool& pool) noexcept;
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PacketPool* prev_;
+  };
+
+  /// Pool installed on this thread, or nullptr outside any scope.
+  [[nodiscard]] static PacketPool* current() noexcept;
+
+ private:
+  std::deque<Packet> slab_;     ///< owns storage; addresses stable
+  std::vector<Packet*> free_;   ///< LIFO free list into slab_
+  std::uint64_t fresh_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t recycled_ = 0;
+  std::uint64_t double_recycled_ = 0;
+};
 
 /// RAII scope that makes packet uid allocation per-simulation instead of
 /// process-global. While a scope is alive on a thread, make_packet() draws
@@ -102,24 +199,11 @@ class PacketUidScope {
   PacketUidScope* prev_;  ///< shadowed scope restored on destruction
 };
 
-/// Factory: uids come from the innermost PacketUidScope on this thread, or
-/// a process-wide atomic counter when no scope is installed (uids are only
-/// for tracing and do not affect simulation behaviour).
+/// Factory: storage comes from the innermost PacketPool::Scope on this
+/// thread (heap when none is installed); uids come from the innermost
+/// PacketUidScope, or a process-wide atomic counter when no scope is
+/// installed (uids are only for tracing and do not affect simulation
+/// behaviour).
 PacketPtr make_packet();
-
-/// Copyable owner used to move a PacketPtr through std::function event
-/// callbacks (which require copyable captures) without leaking if the event
-/// never fires.
-class PacketHolder {
- public:
-  explicit PacketHolder(PacketPtr p)
-      : p_(std::make_shared<PacketPtr>(std::move(p))) {}
-
-  /// Transfers ownership out; valid exactly once.
-  [[nodiscard]] PacketPtr take() const { return std::move(*p_); }
-
- private:
-  std::shared_ptr<PacketPtr> p_;
-};
 
 }  // namespace tcn::net

@@ -147,16 +147,15 @@ void Port::try_transmit() {
   // Serialization finishes at now+tx; the packet then propagates for
   // prop_delay before hitting the peer. A link that goes down while the
   // packet is on the wire (or a loss model firing at the end of
-  // serialization) blackholes it.
-  sim_.schedule_in(tx, [this, q, holder = PacketHolder(std::move(p))]() {
+  // serialization) blackholes it. The packet moves straight into the event's
+  // inline capture -- no heap, and an event discarded unfired recycles it.
+  sim_.schedule_in(tx, [this, q, pkt = std::move(p)]() mutable {
     busy_ = false;
-    PacketPtr pkt = holder.take();
     if (!link_up_ || (loss_ != nullptr && loss_->should_drop(*pkt, sim_.now()))) {
       fault_drop(*pkt, q);
     } else if (peer_ != nullptr) {
       sim_.schedule_in(cfg_.prop_delay,
-                       [this, q, fwd = PacketHolder(std::move(pkt))]() {
-        PacketPtr arriving = fwd.take();
+                       [this, q, arriving = std::move(pkt)]() mutable {
         if (!link_up_) {
           fault_drop(*arriving, q);
           return;

@@ -14,7 +14,8 @@
 //        "fct": { "count", "avg_all_us", "small_count", "avg_small_us",
 //                 "p99_small_us", "large_count", "avg_large_us",
 //                 "timeouts", "small_timeouts" },
-//        "counters": { "switch_drops", "switch_marks", "fault_drops" },
+//        "counters": { "switch_drops", "switch_marks", "fault_drops",
+//                      "pool_fresh", "pool_reused", "pool_recycled" },
 //        "flows_started", "flows_completed", "events", "sim_end_s",
 //        "wall_ms", "events_per_sec"                // non-deterministic
 //     } ]

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() { shutdown(/*discard_pending=*/true); }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -47,7 +47,7 @@ void ThreadPool::shutdown(bool discard_pending) {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

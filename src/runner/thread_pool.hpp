@@ -12,12 +12,19 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
+
 namespace tcn::runner {
+
+/// Move-only task type: sweep job closures and their cancel tokens are
+/// moved into the queue exactly once instead of being copied per submit
+/// (std::function required copyable tasks). Oversized closures go through
+/// sim::boxed().
+using Task = sim::InlineCallback;
 
 /// Shared cancellation flag. Jobs poll it before starting expensive work;
 /// the first failure sets it so the rest of a sweep is skipped, not run.
@@ -46,7 +53,7 @@ class ThreadPool {
   /// Enqueue a task. Throws std::runtime_error after shutdown(). Tasks must
   /// not throw; a task that does is swallowed (the sweep layer catches and
   /// records its own exceptions).
-  void submit(std::function<void()> task);
+  void submit(Task task);
 
   /// Block until every submitted task has finished and the queue is empty.
   void wait_idle();
@@ -70,7 +77,7 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;  // wait_idle: queue empty and none active
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> threads_;
   std::size_t active_ = 0;
   bool stopping_ = false;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -8,39 +9,39 @@
 namespace tcn::sim {
 
 void Simulator::sift_up(std::size_t i) {
-  Entry e = std::move(heap_[i]);
+  const Entry e = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
     if (!before(e, heap_[parent])) break;
-    heap_[i] = std::move(heap_[parent]);
+    heap_[i] = heap_[parent];
     i = parent;
   }
-  heap_[i] = std::move(e);
+  heap_[i] = e;
 }
 
 void Simulator::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
-  Entry e = std::move(heap_[i]);
+  const Entry e = heap_[i];
   for (;;) {
     std::size_t child = 2 * i + 1;
     if (child >= n) break;
     if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
     if (!before(heap_[child], e)) break;
-    heap_[i] = std::move(heap_[child]);
+    heap_[i] = heap_[child];
     i = child;
   }
-  heap_[i] = std::move(e);
+  heap_[i] = e;
 }
 
 void Simulator::push_entry(Entry e) {
-  heap_.push_back(std::move(e));
+  heap_.push_back(e);
   sift_up(heap_.size() - 1);
 }
 
 Simulator::Entry Simulator::pop_entry() {
-  Entry top = std::move(heap_.front());
+  const Entry top = heap_.front();
   if (heap_.size() > 1) {
-    heap_.front() = std::move(heap_.back());
+    heap_.front() = heap_.back();
     heap_.pop_back();
     sift_down(0);
   } else {
@@ -49,13 +50,29 @@ Simulator::Entry Simulator::pop_entry() {
   return top;
 }
 
-EventId Simulator::schedule_at(Time at, Callback cb) {
-  if (at < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+std::uint32_t Simulator::acquire_slot() {
+  if (free_slots_.empty()) {
+    if ((slot_count_ >> kSlotBlockShift) == slot_blocks_.size()) {
+      slot_blocks_.push_back(std::make_unique<Callback[]>(kSlotBlockSize));
+    }
+    const std::uint32_t s = slot_count_++;
+    // Free-list depth is bounded by the slot count; pre-reserving (with
+    // geometric growth, so repeated one-slot expansions stay amortized
+    // O(1)) keeps release_slot() genuinely noexcept.
+    if (free_slots_.capacity() < slot_count_) {
+      free_slots_.reserve(
+          std::max<std::size_t>(2 * free_slots_.capacity(), kSlotBlockSize));
+    }
+    return s;
   }
-  const EventId id = next_id_++;
-  push_entry(Entry{at, id, std::move(cb)});
-  return id;
+  const std::uint32_t s = free_slots_.back();
+  free_slots_.pop_back();
+  return s;
+}
+
+void Simulator::release_slot(std::uint32_t s) noexcept {
+  slot(s).reset();
+  free_slots_.push_back(s);
 }
 
 // Every live cancelled id corresponds to a pending heap entry, so the
@@ -93,11 +110,12 @@ std::uint64_t Simulator::run(Time until) {
   std::uint64_t storm = 0;
   while (!heap_.empty() && !stopped_) {
     if (heap_.front().at > until) break;
-    Entry e = pop_entry();
+    const Entry e = pop_entry();
     if (!cancelled_.empty()) {
       const auto it = cancelled_.find(e.id);
       if (it != cancelled_.end()) {
         cancelled_.erase(it);
+        release_slot(e.slot);  // destroys the unfired callback's captures
         continue;
       }
     }
@@ -118,7 +136,22 @@ std::uint64_t Simulator::run(Time until) {
     now_ = e.at;
     ++count;
     ++executed_;
-    e.cb();
+    // Invoke in place: slot blocks never move, so a nested schedule that
+    // grows the pool never invalidates the reference below. The guard
+    // releases the slot after the call (even on throw); it never
+    // reallocates free_slots_ because acquire_slot() pre-reserved it, so
+    // the destructor is safe.
+    Callback& cb = slot(e.slot);
+    struct SlotGuard {
+      Callback* cb;
+      std::vector<std::uint32_t>* free_list;
+      std::uint32_t slot;
+      ~SlotGuard() {
+        cb->reset();
+        free_list->push_back(slot);
+      }
+    } guard{&cb, &free_slots_, e.slot};
+    cb();
   }
   if (heap_.empty()) cancelled_.clear();
   return count;

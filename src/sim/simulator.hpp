@@ -5,15 +5,24 @@
 // this makes every run deterministic. Events are arbitrary callables;
 // schedule() returns an EventId usable with cancel() (lazy deletion).
 //
-// The heap is hand-rolled (vector + sift with moves) so each event costs one
-// moved std::function and no side-table lookups on the hot path.
+// Zero-allocation hot path: callbacks are move-only InlineCallbacks with
+// fixed inline storage (sim/inline_callback.hpp), and they live in a
+// free-list slot pool *next to* the heap rather than inside it. Heap
+// entries are 24-byte PODs {time, id, slot}, so the sift loops move trivial
+// structs instead of relocating 64-byte callables; a callback is
+// constructed once, directly into its slot, and invoked in place -- zero
+// relocations over its whole lifetime. Steady state performs no heap
+// allocations at all: the heap vector, slot blocks and free list all
+// plateau at the peak pending-event count.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace tcn::sim {
@@ -23,7 +32,10 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only, allocation-free event callable. Captures larger than the
+  /// inline budget are a compile error; wrap them with sim::boxed() if the
+  /// allocation is acceptable (tests, per-job runner closures).
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -32,12 +44,26 @@ class Simulator {
   /// Current simulation time.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedule `cb` at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb);
+  /// Schedule `cb` at absolute time `at` (must be >= now()). Templated so
+  /// the callable is constructed directly into its storage slot -- one
+  /// copy/move from the caller's lambda, zero further relocations for the
+  /// event's whole lifetime.
+  template <typename F>
+  EventId schedule_at(Time at, F&& cb) {
+    if (at < now_) {
+      throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    }
+    const EventId id = next_id_++;
+    const std::uint32_t s = acquire_slot();
+    slot(s) = std::forward<F>(cb);
+    push_entry(Entry{at, id, s});
+    return id;
+  }
 
   /// Schedule `cb` `delay` nanoseconds from now.
-  EventId schedule_in(Time delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  template <typename F>
+  EventId schedule_in(Time delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Cancel a pending event (lazy: the entry is skipped when popped).
@@ -79,11 +105,14 @@ class Simulator {
   }
 
  private:
+  /// POD heap node; the callback lives in slots_[slot]. Keeping the heap
+  /// trivially copyable is what makes sift moves cheap.
   struct Entry {
     Time at;
     EventId id;  // doubles as the insertion sequence for FIFO ties
-    Callback cb;
+    std::uint32_t slot;
   };
+  static_assert(std::is_trivially_copyable_v<Entry>);
 
   /// True when a fires strictly before b.
   static bool before(const Entry& a, const Entry& b) noexcept {
@@ -94,7 +123,22 @@ class Simulator {
   void sift_down(std::size_t i);
   void push_entry(Entry e);
   Entry pop_entry();
+  /// Pop a free slot (or grow the pool); the slot's callback is empty.
+  std::uint32_t acquire_slot();
+  /// Destroy the slot's callback and return the index to the free list.
+  void release_slot(std::uint32_t slot) noexcept;
   void purge_stale_cancels();
+
+  /// Slot storage: fixed power-of-two blocks that are allocated once and
+  /// never move, so growth (a nested schedule while a callback executes in
+  /// place) cannot invalidate a live callable, and indexing is a
+  /// shift+mask rather than std::deque's divide-by-block-capacity.
+  static constexpr std::uint32_t kSlotBlockShift = 6;
+  static constexpr std::uint32_t kSlotBlockSize = 1u << kSlotBlockShift;
+
+  [[nodiscard]] Callback& slot(std::uint32_t s) noexcept {
+    return slot_blocks_[s >> kSlotBlockShift][s & (kSlotBlockSize - 1)];
+  }
 
   Time now_ = 0;
   bool stopped_ = false;
@@ -102,6 +146,11 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::uint64_t storm_limit_ = 10'000'000;
   std::vector<Entry> heap_;  // binary min-heap by before()
+  /// Callback blocks indexed via slot(); the outer vector may reallocate
+  /// but only holds pointers -- block addresses are stable for life.
+  std::vector<std::unique_ptr<Callback[]>> slot_blocks_;
+  std::uint32_t slot_count_ = 0;           // total slots ever created
+  std::vector<std::uint32_t> free_slots_;  // LIFO recycled slot indices
   std::unordered_set<EventId> cancelled_;
 };
 

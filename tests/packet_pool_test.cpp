@@ -1,0 +1,330 @@
+// PacketPool and hot-path allocation tests.
+//
+// This binary overrides global operator new/delete with counting wrappers
+// so the central claim of the zero-allocation refactor -- steady-state
+// event scheduling and packet churn perform no heap allocations at all --
+// is asserted directly, not inferred from throughput. The override is
+// per-binary, which is why these tests live in their own test target.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// Counting global allocator. Counts every operator new in the process --
+// gtest bookkeeping included -- so assertions sample the counter tightly
+// around the code under test and nothing else.
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+// GCC's -Wmismatched-new-delete heuristic misfires on replacement
+// deallocation functions that visibly call free() on memory from the
+// replacement operator new above (which itself uses malloc, so the pair
+// does match); silence it for exactly these four definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace tcn {
+namespace {
+
+std::uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
+
+// ------------------------------------------------------------ pool basics ----
+
+TEST(PacketPool, RecycleReusesAndFullyReinitializes) {
+  net::PacketUidScope uids;
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+
+  net::PacketPtr p = net::make_packet();
+  net::Packet* raw = p.get();
+  const std::uint64_t first_uid = p->uid;
+  // Dirty every interesting field.
+  p->type = net::PacketType::kAck;
+  p->size = 1500;
+  p->payload = 1460;
+  p->seq = 77;
+  p->ack = 99;
+  p->ece = true;
+  p->ecn = net::Ecn::kCe;
+  p->dscp = 5;
+  p->sack_count = 2;
+  p->enqueue_ts = 123;
+  p.reset();  // recycles
+
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  EXPECT_EQ(pool.recycles(), 1u);
+  EXPECT_EQ(pool.free_size(), 1u);
+
+  net::PacketPtr q = net::make_packet();
+  // Same storage, reset state, fresh uid.
+  EXPECT_EQ(q.get(), raw);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(q->uid, first_uid + 1);
+  EXPECT_EQ(q->type, net::PacketType::kData);
+  EXPECT_EQ(q->size, 0u);
+  EXPECT_EQ(q->payload, 0u);
+  EXPECT_EQ(q->seq, 0u);
+  EXPECT_EQ(q->ack, 0u);
+  EXPECT_FALSE(q->ece);
+  EXPECT_EQ(q->ecn, net::Ecn::kNotEct);
+  EXPECT_EQ(q->dscp, 0u);
+  EXPECT_EQ(q->sack_count, 0u);
+  EXPECT_EQ(q->enqueue_ts, 0);
+  EXPECT_FALSE(q->pool_free);
+}
+
+TEST(PacketPool, LifoReuseKeepsCacheWarmOrder) {
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  net::PacketPtr a = net::make_packet();
+  net::PacketPtr b = net::make_packet();
+  net::Packet* rb = b.get();
+  a.reset();
+  b.reset();
+  // LIFO: the most recently recycled packet comes back first.
+  net::PacketPtr c = net::make_packet();
+  EXPECT_EQ(c.get(), rb);
+}
+
+TEST(PacketPool, LiveCountTracksOutstandingHandles) {
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  EXPECT_EQ(pool.live(), 0u);
+  auto a = net::make_packet();
+  auto b = net::make_packet();
+  EXPECT_EQ(pool.live(), 2u);
+  a.reset();
+  EXPECT_EQ(pool.live(), 1u);
+  b.reset();
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPool, NoScopeFallsBackToHeap) {
+  // Outside any scope make_packet() still works (tests, ad-hoc tools); the
+  // deleter plain-deletes instead of recycling.
+  net::PacketPtr p = net::make_packet();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(net::PacketPool::current(), nullptr);
+  p.reset();  // must not crash; nothing to assert beyond ASan cleanliness
+}
+
+TEST(PacketPool, ScopesNestAndRestore) {
+  net::PacketPool outer;
+  net::PacketPool::Scope outer_scope(outer);
+  EXPECT_EQ(net::PacketPool::current(), &outer);
+  {
+    net::PacketPool inner;
+    net::PacketPool::Scope inner_scope(inner);
+    EXPECT_EQ(net::PacketPool::current(), &inner);
+    auto p = net::make_packet();
+    p.reset();
+    EXPECT_EQ(inner.fresh_allocs(), 1u);
+    EXPECT_EQ(outer.fresh_allocs(), 0u);
+  }
+  EXPECT_EQ(net::PacketPool::current(), &outer);
+}
+
+// ------------------------------------------------------- misuse handling ----
+
+TEST(PacketPool, DoubleRecycleIsDetectedAndDropped) {
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  auto p = net::make_packet();
+  net::Packet* raw = p.get();
+  p.reset();  // legitimate recycle
+  ASSERT_EQ(pool.free_size(), 1u);
+
+  // Direct misuse of the pool API: recycling a packet already on the free
+  // list. Must not double-insert (which would later hand the same storage
+  // to two owners) and must stay memory-safe -- slab storage is pool-owned,
+  // so this is a counted logical error, not heap corruption.
+  pool.recycle(raw);
+  EXPECT_EQ(pool.double_recycles(), 1u);
+  EXPECT_EQ(pool.free_size(), 1u);
+  EXPECT_EQ(pool.recycles(), 1u);
+
+  // The pool still functions normally afterwards.
+  auto q = net::make_packet();
+  EXPECT_EQ(q.get(), raw);
+  EXPECT_EQ(pool.double_recycles(), 1u);
+}
+
+// ------------------------------------------------------- scope isolation ----
+
+TEST(PacketPool, ConcurrentRunsNeverSharePackets) {
+  // Two "sweep jobs" on separate threads, each with its own pool scope (the
+  // runner's per-job setup). The storage each job sees must be disjoint and
+  // each pool's counters must only reflect its own job.
+  constexpr int kPackets = 500;
+  std::set<const net::Packet*> seen_a, seen_b;
+  // Pools outlive both jobs so the pointer sets are compared while both
+  // slabs are still live -- otherwise the allocator could legitimately
+  // hand thread B the addresses thread A's destroyed pool freed.
+  net::PacketPool pool_a, pool_b;
+
+  auto job = [](net::PacketPool& pool, std::set<const net::Packet*>& seen) {
+    net::PacketUidScope uids;
+    net::PacketPool::Scope scope(pool);
+    for (int i = 0; i < kPackets; ++i) {
+      auto p = net::make_packet();
+      seen.insert(p.get());
+      if (i % 3 == 0) p.reset();  // mix held and recycled packets
+    }
+  };
+
+  std::thread ta([&] { job(pool_a, seen_a); });
+  std::thread tb([&] { job(pool_b, seen_b); });
+  ta.join();
+  tb.join();
+
+  EXPECT_GT(pool_a.fresh_allocs(), 0u);
+  EXPECT_GT(pool_b.fresh_allocs(), 0u);
+  // Each pool only ever served its own job's thread...
+  EXPECT_EQ(pool_a.fresh_allocs() + pool_a.reuses(),
+            static_cast<std::uint64_t>(kPackets));
+  EXPECT_EQ(pool_b.fresh_allocs() + pool_b.reuses(),
+            static_cast<std::uint64_t>(kPackets));
+  // ...and the storage the two jobs saw is disjoint.
+  for (const net::Packet* p : seen_a) {
+    EXPECT_EQ(seen_b.count(p), 0u) << "pools shared packet storage";
+  }
+}
+
+// -------------------------------------------------- zero-allocation proof ----
+
+TEST(HotPath, SteadyStateEventAndPacketChurnIsAllocationFree) {
+  net::PacketUidScope uids;
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  sim::Simulator s;
+
+  // A self-clocked event chain that acquires a packet per tick and carries
+  // it inside the event capture -- the port-serialization pattern. The
+  // packet recycles when the fired event's callback is destroyed.
+  struct Churn {
+    sim::Simulator* s;
+    int* remaining;
+    void operator()() {
+      if (--*remaining <= 0) return;
+      auto p = net::make_packet();
+      p->size = 1500;
+      s->schedule_in(100, [c = *this, pkt = std::move(p)]() mutable { c(); });
+    }
+  };
+
+  int remaining = 2'000;
+  s.schedule_at(0, Churn{&s, &remaining});
+  s.run();  // warmup: slab growth, heap-vector growth, free-list fill
+  ASSERT_EQ(remaining, 0);
+  const std::uint64_t fresh_after_warmup = pool.fresh_allocs();
+
+  remaining = 10'000;
+  s.schedule_in(100, Churn{&s, &remaining});
+  const std::uint64_t allocs_before = allocs();
+  s.run();
+  const std::uint64_t allocs_after = allocs();
+  ASSERT_EQ(remaining, 0);
+
+  // The claim of the refactor, asserted literally: ten thousand
+  // schedule+fire+packet-acquire+recycle cycles, zero heap allocations.
+  EXPECT_EQ(allocs_after - allocs_before, 0u);
+  // And the pool-side view agrees: no slab growth after warmup, all reuse.
+  EXPECT_EQ(pool.fresh_allocs(), fresh_after_warmup);
+  EXPECT_GE(pool.reuses(), 10'000u - fresh_after_warmup);
+}
+
+// --------------------------------------------------------- InlineCallback ----
+
+TEST(InlineCallback, CarriesMoveOnlyCaptures) {
+  // The capability std::function never had: a unique_ptr rides directly in
+  // the event capture, and an event that never fires releases it cleanly.
+  sim::Simulator s;
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  s.schedule_at(5, [p = std::move(payload), &result] { result = *p + 1; });
+  s.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(InlineCallback, UnfiredEventReleasesCapture) {
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  {
+    sim::Simulator s;
+    auto p = net::make_packet();
+    s.schedule_at(10, [pkt = std::move(p)]() mutable {});
+    // Simulator destroyed without running: the pending event's packet must
+    // recycle, not leak.
+  }
+  EXPECT_EQ(pool.recycles(), 1u);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  sim::InlineCallback a;
+  EXPECT_FALSE(static_cast<bool>(a));
+  int hits = 0;
+  a = sim::InlineCallback([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  sim::InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, BoxedFallbackHandlesOversizedCaptures) {
+  // A capture bigger than the 64B inline budget is a compile error on the
+  // direct path; boxed() is the sanctioned heap escape hatch for tests and
+  // runner-scale closures.
+  struct Big {
+    char blob[256];
+  };
+  Big big{};
+  big.blob[255] = 7;
+  int result = 0;
+  sim::Simulator s;
+  s.schedule_at(1, sim::boxed([big, &result] { result = big.blob[255]; }));
+  s.run();
+  EXPECT_EQ(result, 7);
+}
+
+TEST(InlineCallback, CompileTimeBudget) {
+  // The inline budget itself is part of the contract: a {this, index,
+  // PacketPtr} forwarding capture must fit with room to spare.
+  struct HotCapture {
+    void* self;
+    std::size_t q;
+    net::PacketPtr pkt;
+  };
+  static_assert(sizeof(HotCapture) <= sim::InlineCallback::kInlineBytes);
+  static_assert(sizeof(sim::InlineCallback) <=
+                sim::InlineCallback::kInlineBytes + 2 * sizeof(void*));
+}
+
+}  // namespace
+}  // namespace tcn

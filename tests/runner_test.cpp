@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -114,6 +115,33 @@ TEST(ThreadPool, ShutdownWithoutDiscardDrainsQueue) {
   }
   pool.shutdown(/*discard_pending=*/false);
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, AcceptsMoveOnlyTasks) {
+  // The queue holds move-only InlineCallbacks now: job closures (and the
+  // resources they own) are moved in exactly once, never copied per submit.
+  std::atomic<int> result{0};
+  runner::ThreadPool pool(2);
+  auto payload = std::make_unique<int>(42);
+  pool.submit([p = std::move(payload), &result] { result = *p; });
+  pool.wait_idle();
+  EXPECT_EQ(result.load(), 42);
+  pool.shutdown();
+}
+
+TEST(ThreadPool, OversizedTasksGoThroughBoxed) {
+  // Closures beyond the 64B inline budget use the sanctioned heap fallback.
+  struct Fat {
+    char blob[128] = {};
+  };
+  std::atomic<int> result{0};
+  runner::ThreadPool pool(1);
+  Fat fat;
+  fat.blob[0] = 7;
+  pool.submit(sim::boxed([fat, &result] { result = fat.blob[0]; }));
+  pool.wait_idle();
+  EXPECT_EQ(result.load(), 7);
+  pool.shutdown();
 }
 
 TEST(ThreadPool, SurvivesThrowingTask) {
@@ -304,6 +332,7 @@ TEST(Results, JsonMatchesSchemaGolden) {
       "p99_small_us", "large_count", "avg_large_us", "timeouts",
       "small_timeouts",
       "counters", "switch_drops", "switch_marks", "fault_drops",
+      "pool_fresh", "pool_reused", "pool_recycled",
       "flows_started", "flows_completed", "events", "sim_end_s", "wall_ms",
       "events_per_sec"};
   EXPECT_EQ(json_keys(doc), expected);
