@@ -29,6 +29,10 @@ struct Args {
   /// Write structured results (schema tcn-bench-1) here; empty = no JSON,
   /// "-" = stdout.
   std::string json;
+  /// Collect per-run metrics and write the merged tcn-metrics-1 document
+  /// here; empty = observability off, "-" = stdout. Byte-identical for any
+  /// --jobs (merge is by job index).
+  std::string metrics_out;
 
   static Args parse(int argc, char** argv, const Args& defaults) {
     Args a = defaults;
@@ -49,6 +53,8 @@ struct Args {
         a.jobs = std::strtoull(next(), nullptr, 10);
       } else if (flag == "--json") {
         a.json = next();
+      } else if (flag == "--metrics-out") {
+        a.metrics_out = next();
       } else if (flag == "--loads") {
         a.loads.clear();
         std::string list = next();
@@ -62,10 +68,13 @@ struct Args {
       } else if (flag == "--help" || flag == "-h") {
         std::printf(
             "usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n"
-            "          [--jobs N] [--json PATH]\n"
+            "          [--jobs N] [--json PATH] [--metrics-out PATH]\n"
             "  --jobs N    parallel sweep workers (0 = one per core; output\n"
             "              is byte-identical for any value)\n"
-            "  --json PATH write per-run structured results (tcn-bench-1)\n",
+            "  --json PATH write per-run structured results (tcn-bench-1)\n"
+            "  --metrics-out PATH\n"
+            "              collect per-run observability metrics and write\n"
+            "              the merged tcn-metrics-1 snapshot\n",
             argv[0]);
         std::exit(0);
       } else {
@@ -183,6 +192,7 @@ inline runner::SweepSpec fct_sweep_spec(const char* name,
                                         const Args& args) {
   base.num_flows = args.flows;
   base.seed = args.seed;
+  base.collect_metrics = !args.metrics_out.empty();
   runner::SweepSpec spec;
   spec.name = name;
   spec.base = std::move(base);
@@ -208,6 +218,9 @@ inline int run_fct_sweep(const char* name, const char* title,
   print_fct_tables(title, schemes, args.loads, res.runs, 0, args.flows,
                    args.seed);
   if (!args.json.empty()) runner::write_json_file(res, name, args.json);
+  if (!args.metrics_out.empty()) {
+    runner::write_metrics_file(res, name, args.metrics_out);
+  }
   return 0;
 }
 

@@ -22,9 +22,12 @@ void summarize(const char* name, const bench::RateTrace& t) {
   const auto conv = t.convergence();
   const std::string conv_s =
       conv < 0 ? "never" : std::to_string(conv / sim::kMicrosecond) + "us";
-  std::printf("%-22s | %11zu | %12s | %8.2f..%-8.2f | %10.2f\n", name,
-              t.samples_in_2ms, conv_s.c_str(), t.sample_min() / 1e9,
-              t.sample_max() / 1e9, t.final_estimate() / 1e9);
+  const std::string total_s =
+      t.total_samples > 0 ? std::to_string(t.total_samples) : "cont.";
+  std::printf("%-22s | %11zu | %9s | %12s | %8.2f..%-8.2f | %10.2f\n", name,
+              t.samples_in_2ms, total_s.c_str(), conv_s.c_str(),
+              t.sample_min() / 1e9, t.sample_max() / 1e9,
+              t.final_estimate() / 1e9);
 }
 
 }  // namespace
@@ -35,8 +38,8 @@ int main(int argc, char** argv) {
       "=== Fig. 2: estimating queue 0's capacity after its true share drops "
       "to 5Gbps at t=10ms ===\n(10G, DWRR 2x18KB quanta, ECN*, 8 flows then "
       "+2)\n\n");
-  std::printf("%-22s | %11s | %12s | %18s | %10s\n", "estimator",
-              "samples/2ms", "convergence", "sample range Gbps",
+  std::printf("%-22s | %11s | %9s | %12s | %18s | %10s\n", "estimator",
+              "samples/2ms", "total", "convergence", "sample range Gbps",
               "final Gbps");
   summarize("Alg.1 dq_thresh=40KB", bench::run_rate_trace(40'000, args.seed));
   summarize("Alg.1 dq_thresh=10KB", bench::run_rate_trace(10'000, args.seed));

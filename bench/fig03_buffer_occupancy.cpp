@@ -9,7 +9,7 @@
 #include <optional>
 
 #include "bench_util.hpp"
-#include "stats/percentile.hpp"
+#include "obs/metrics.hpp"
 #include "stats/timeseries.hpp"
 #include "topo/network.hpp"
 #include "transport/flow.hpp"
@@ -26,6 +26,13 @@ struct Result {
 };
 
 Result run(core::Scheme scheme, std::uint64_t seed) {
+  // The figure's occupancy series flows through the observability layer: a
+  // periodic sampler publishes into a gauge (whole-run peak via max
+  // tracking) and, once past slow start, a log histogram (steady-state
+  // percentiles), and the table reads both back from the registry.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry::Scope metrics_scope(registry);
+
   sim::Simulator simulator;
   core::SchemeParams params;
   params.rtt_lambda = 100 * sim::kMicrosecond;
@@ -55,21 +62,24 @@ Result run(core::Scheme scheme, std::uint64_t seed) {
     fm.start_flow(network.host(h), network.host(0), spec);
   }
 
+  auto& occupancy = registry.gauge("fig03.occupancy_bytes");
+  auto& steady = registry.histogram("fig03.steady_occupancy_bytes");
   stats::PeriodicSampler sampler(simulator, 10 * sim::kMicrosecond, [&] {
-    return static_cast<double>(network.switch_at(0).port(0).total_bytes());
+    const auto bytes = network.switch_at(0).port(0).total_bytes();
+    occupancy.set(static_cast<double>(bytes));
+    if (simulator.now() >= 5 * sim::kMillisecond) {
+      steady.record(static_cast<std::int64_t>(bytes));
+    }
+    return static_cast<double>(bytes);
   });
   sampler.start();
   simulator.run(30 * sim::kMillisecond);
 
   Result r{};
-  std::vector<double> steady;
-  for (const auto& s : sampler.samples()) {
-    r.peak_kb = std::max(r.peak_kb, s.value / 1e3);
-    if (s.t >= 5 * sim::kMillisecond) steady.push_back(s.value / 1e3);
-  }
-  r.steady_p50_kb = stats::percentile(steady, 50.0);
-  r.steady_p95_kb = stats::percentile(steady, 95.0);
-  r.steady_max_kb = stats::percentile(steady, 100.0);
+  r.peak_kb = occupancy.max() / 1e3;
+  r.steady_p50_kb = static_cast<double>(steady.percentile(50.0)) / 1e3;
+  r.steady_p95_kb = static_cast<double>(steady.percentile(95.0)) / 1e3;
+  r.steady_max_kb = static_cast<double>(steady.max()) / 1e3;
   return r;
 }
 

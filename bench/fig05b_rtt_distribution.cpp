@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "stats/percentile.hpp"
+#include "obs/metrics.hpp"
 #include "topo/network.hpp"
 #include "transport/flow.hpp"
 #include "transport/ping.hpp"
@@ -27,6 +27,12 @@ struct Result {
 };
 
 Result run(core::Scheme scheme, std::uint64_t seed) {
+  // The figure's series comes from the observability layer: PingApp
+  // publishes every RTT into the "ping.rtt_ns" log histogram of the run's
+  // registry (installed before anything is built so handles resolve).
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry::Scope metrics_scope(registry);
+
   sim::Simulator simulator;
   core::SchemeParams params;
   params.rtt_lambda = 256 * sim::kMicrosecond;
@@ -78,12 +84,10 @@ Result run(core::Scheme scheme, std::uint64_t seed) {
   simulator.schedule_at(200 * sim::kMillisecond, [&] { ping.start(); });
   simulator.run(2 * sim::kSecond);
 
-  std::vector<double> us;
-  us.reserve(ping.rtts().size());
-  for (const auto r : ping.rtts()) {
-    us.push_back(static_cast<double>(r) / sim::kMicrosecond);
-  }
-  return {stats::mean(us), stats::percentile(us, 99.0), us.size()};
+  const auto& h = registry.histogram("ping.rtt_ns");
+  const double us = static_cast<double>(sim::kMicrosecond);
+  return {h.mean() / us, static_cast<double>(h.percentile(99.0)) / us,
+          static_cast<std::size_t>(h.count())};
 }
 
 }  // namespace

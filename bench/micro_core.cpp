@@ -18,6 +18,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -26,9 +27,12 @@
 #include "aqm/codel.hpp"
 #include "aqm/red_ecn.hpp"
 #include "aqm/tcn.hpp"
+#include "net/fifo_scheduler.hpp"
 #include "net/marker.hpp"
 #include "net/packet.hpp"
+#include "net/port.hpp"
 #include "net/queue.hpp"
+#include "obs/metrics.hpp"
 #include "runner/json.hpp"
 #include "sched/dwrr.hpp"
 #include "sched/wfq.hpp"
@@ -313,6 +317,52 @@ BenchResult bench_packet_legacy(double min_secs) {
       min_secs);
 }
 
+// ------------------------------------------------------------- port path ----
+
+/// Discards every delivered packet (recycling it into the pool).
+class SinkNode final : public net::Node {
+ public:
+  void receive(net::PacketPtr, std::size_t) override {}
+  [[nodiscard]] std::string_view name() const override { return "sink"; }
+};
+
+constexpr int kPortBatch = 256;
+
+/// Full enqueue->schedule->serialize->deliver pipeline through one Port.
+/// `with_metrics` installs a MetricsRegistry scope for the port's lifetime,
+/// so the same binary measures observability compiled-in-but-disabled (the
+/// null-handle one-branch discipline) against fully enabled publishing; the
+/// disabled/enabled ratio printed at the end is the <3%-overhead gate for
+/// the disabled case.
+BenchResult bench_port_pipeline(std::string label, bool with_metrics,
+                                double min_secs) {
+  net::PacketUidScope uids;
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  obs::MetricsRegistry registry;
+  std::optional<obs::MetricsRegistry::Scope> metrics_scope;
+  if (with_metrics) metrics_scope.emplace(registry);
+
+  sim::Simulator s;
+  net::PortConfig cfg;
+  cfg.rate_bps = 10'000'000'000ULL;
+  net::Port port(s, "bench.p0", cfg, std::make_unique<net::FifoScheduler>(),
+                 std::make_unique<net::NullMarker>());
+  SinkNode sink;
+  port.connect(&sink, 0);
+  return measure(
+      std::move(label), kPortBatch,
+      [&] {
+        for (int i = 0; i < kPortBatch; ++i) {
+          auto p = net::make_packet();
+          p->size = 1500;
+          port.enqueue(std::move(p), 0);
+        }
+        s.run();
+      },
+      min_secs);
+}
+
 // ------------------------------------------------- AQM decision / scheds ----
 
 net::MarkContext make_ctx(sim::Time now) {
@@ -467,6 +517,10 @@ int main(int argc, char** argv) {
   results.push_back(bench_timer_chain(min_secs));
   results.push_back(bench_packet_pooled(min_secs));
   results.push_back(bench_packet_legacy(min_secs));
+  results.push_back(
+      bench_port_pipeline("port_pipeline_obs_off", false, min_secs));
+  results.push_back(
+      bench_port_pipeline("port_pipeline_obs_on", true, min_secs));
 
   {
     aqm::TcnMarker tcn(100 * sim::kMicrosecond);
@@ -533,6 +587,15 @@ int main(int argc, char** argv) {
   if (pk_new && pk_old && pk_old->ops_per_sec() > 0) {
     std::printf("packet path speedup (pooled vs legacy heap):          %.2fx\n",
                 pk_new->ops_per_sec() / pk_old->ops_per_sec());
+  }
+  const auto* port_off = find("port_pipeline_obs_off");
+  const auto* port_on = find("port_pipeline_obs_on");
+  if (port_off && port_on && port_off->ops_per_sec() > 0) {
+    // obs_off is the production default: metrics compiled in, no registry
+    // installed, every publish site one never-taken branch.
+    std::printf("port path metrics overhead (enabled vs disabled):     %.1f%%\n",
+                (port_off->ops_per_sec() / port_on->ops_per_sec() - 1.0) *
+                    100.0);
   }
 
   if (!json_path.empty()) write_json(results, wall_ms, json_path);

@@ -14,6 +14,7 @@
 #include "aqm/mq_ecn.hpp"
 #include "aqm/rate_estimator.hpp"
 #include "core/schemes.hpp"
+#include "obs/metrics.hpp"
 #include "sched/dwrr.hpp"
 #include "stats/timeseries.hpp"
 #include "topo/network.hpp"
@@ -29,6 +30,10 @@ struct RateTrace {
   std::vector<stats::PeriodicSampler::Sample> smoothed;  // (t, bps)
   std::vector<double> post_change_samples;               // raw bps post-join
   std::size_t samples_in_2ms = 0;
+  /// Whole-run raw sample count, read back from the observability layer
+  /// (the "aqm.ideal-red.sample_bps" histogram); 0 for the MQ-ECN trace,
+  /// whose estimator is continuous rather than sampling.
+  std::uint64_t total_samples = 0;
 
   /// Time after the join until the smoothed estimate permanently stays
   /// within 10% of the true 5Gbps; -1 if it never does.
@@ -69,6 +74,12 @@ struct RateTrace {
 };
 
 inline RateTrace run_rate_trace(std::uint64_t dq_thresh, std::uint64_t seed) {
+  // Registry installed before the topology so the IdealRedMarker resolves
+  // its "aqm.ideal-red.sample_bps" histogram; the trace re-reads the
+  // estimator's sampling activity from it after the run.
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry::Scope metrics_scope(registry);
+
   sim::Simulator simulator;
   RateTrace trace;
 
@@ -156,6 +167,9 @@ inline RateTrace run_rate_trace(std::uint64_t dq_thresh, std::uint64_t seed) {
         trace.post_change_samples.push_back(s.value);
       }
     }
+  }
+  if (dq_thresh > 0) {
+    trace.total_samples = registry.histogram("aqm.ideal-red.sample_bps").count();
   }
   (void)seed;
   return trace;

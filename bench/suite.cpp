@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     if (cli.flows > 0) slice.args.flows = cli.flows;
     if (!cli.loads.empty()) slice.args.loads = cli.loads;
     slice.args.seed = cli.seed;
+    slice.args.metrics_out = cli.metrics_out;
     slice.first = jobs.size();
     const auto spec = bench::fct_sweep_spec(def.name, def.base, def.schemes,
                                             slice.args);
@@ -85,5 +86,8 @@ int main(int argc, char** argv) {
                res.runs.size(), res.wall_ms / 1000.0, res.jobs_used,
                cli.json.c_str());
   runner::write_json_file(res, "suite", cli.json);
+  if (!cli.metrics_out.empty()) {
+    runner::write_metrics_file(res, "suite", cli.metrics_out);
+  }
   return 0;
 }

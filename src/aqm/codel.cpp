@@ -7,7 +7,10 @@ namespace tcn::aqm {
 
 CodelMarker::CodelMarker(sim::Time target, sim::Time interval,
                          std::uint32_t mtu_bytes)
-    : target_(target), interval_(interval), mtu_(mtu_bytes) {
+    : target_(target),
+      interval_(interval),
+      mtu_(mtu_bytes),
+      metrics_("codel", /*with_sojourn=*/true) {
   if (target <= 0 || interval <= 0) {
     throw std::invalid_argument("CodelMarker: target/interval must be > 0");
   }
@@ -24,11 +27,17 @@ sim::Time CodelMarker::control_law(sim::Time t, std::uint32_t count) const {
 
 bool CodelMarker::on_dequeue(const net::MarkContext& ctx,
                              const net::Packet& p) {
+  const sim::Time sojourn = ctx.now - p.enqueue_ts;
+  const bool mark = decide(ctx, sojourn);
+  metrics_.decision(mark, sojourn);
+  return mark;
+}
+
+bool CodelMarker::decide(const net::MarkContext& ctx, sim::Time sojourn) {
   if (ctx.queue >= states_.size()) states_.resize(ctx.queue + 1);
   QueueState& s = states_[ctx.queue];
 
   const sim::Time now = ctx.now;
-  const sim::Time sojourn = now - p.enqueue_ts;
 
   bool ok_to_mark = false;
   if (sojourn < target_ || ctx.queue_bytes <= mtu_) {

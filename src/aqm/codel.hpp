@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 #include "sim/time.hpp"
 
@@ -45,11 +46,13 @@ class CodelMarker final : public net::Marker {
 
  private:
   [[nodiscard]] sim::Time control_law(sim::Time t, std::uint32_t count) const;
+  bool decide(const net::MarkContext& ctx, sim::Time sojourn);
 
   sim::Time target_;
   sim::Time interval_;
   std::uint32_t mtu_;
   std::vector<QueueState> states_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

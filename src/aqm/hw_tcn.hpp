@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 #include "sim/time.hpp"
 
@@ -67,7 +68,8 @@ class HwTcnMarker final : public net::Marker {
               std::uint32_t bits = 16)
       : clock_(resolution_ns, bits),
         threshold_ticks_(static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(threshold) / resolution_ns)) {
+            static_cast<std::uint64_t>(threshold) / resolution_ns)),
+        metrics_("tcn-hw", /*with_sojourn=*/true) {
     if (threshold <= 0 || threshold >= clock_.horizon()) {
       throw std::invalid_argument(
           "HwTcnMarker: threshold out of clock horizon");
@@ -81,8 +83,10 @@ class HwTcnMarker final : public net::Marker {
     const std::uint32_t deq = clock_.stamp(ctx.now);
     const sim::Time sojourn = clock_.elapsed(enq, deq);
     // Integer compare in ticks -- the whole dequeue-side ALU.
-    return sojourn > static_cast<sim::Time>(threshold_ticks_) *
-                         clock_.resolution_ns();
+    const bool mark = sojourn > static_cast<sim::Time>(threshold_ticks_) *
+                                    clock_.resolution_ns();
+    metrics_.decision(mark, sojourn);
+    return mark;
   }
 
   [[nodiscard]] std::string_view name() const override { return "tcn-hw"; }
@@ -91,6 +95,7 @@ class HwTcnMarker final : public net::Marker {
  private:
   WrappingClock clock_;
   std::uint32_t threshold_ticks_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

@@ -1,0 +1,52 @@
+// Shared metrics handle for AQM markers.
+//
+// Every marker owns one MarkerMetrics resolved at construction from the
+// thread-local obs::MetricsRegistry scope. With no registry installed the
+// pointers stay null and each decision() call is a single branch -- the same
+// zero-cost-when-disabled discipline as the Port's observer hook. Counters
+// are keyed "aqm.<marker>.evals" / ".marks" and aggregate across every port
+// running that marker, so one sweep-level snapshot shows the whole fabric's
+// marking behaviour per AQM.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::aqm {
+
+struct MarkerMetrics {
+  obs::Counter* evals = nullptr;
+  obs::Counter* marks = nullptr;
+  obs::LogHistogram* sojourn = nullptr;
+
+  MarkerMetrics() = default;
+
+  /// `with_sojourn` additionally registers "aqm.<marker>.sojourn_ns" for
+  /// markers whose decision input is a sojourn time (TCN, CoDel).
+  explicit MarkerMetrics(std::string_view marker, bool with_sojourn = false) {
+    obs::MetricsRegistry* reg = obs::MetricsRegistry::current();
+    if (reg == nullptr) return;
+    const std::string base = "aqm." + std::string(marker) + ".";
+    evals = &reg->counter(base + "evals");
+    marks = &reg->counter(base + "marks");
+    if (with_sojourn) sojourn = &reg->histogram(base + "sojourn_ns");
+  }
+
+  void decision(bool marked) noexcept {
+    if (evals == nullptr) return;
+    evals->inc();
+    if (marked) marks->inc();
+  }
+
+  void decision(bool marked, sim::Time sojourn_ns) noexcept {
+    if (evals == nullptr) return;
+    evals->inc();
+    if (marked) marks->inc();
+    sojourn->record(sojourn_ns);
+  }
+};
+
+}  // namespace tcn::aqm

@@ -6,7 +6,7 @@ namespace tcn::aqm {
 
 MqEcnMarker::MqEcnMarker(const net::RoundRateProvider* provider,
                          sim::Time rtt_lambda)
-    : provider_(provider), rtt_lambda_(rtt_lambda) {
+    : provider_(provider), rtt_lambda_(rtt_lambda), metrics_("mq-ecn") {
   if (provider_ == nullptr) {
     throw std::invalid_argument("MqEcnMarker: provider required");
   }
@@ -23,7 +23,9 @@ std::uint64_t MqEcnMarker::threshold_bytes(std::size_t q, sim::Time now) const {
 }
 
 bool MqEcnMarker::on_enqueue(const net::MarkContext& ctx, const net::Packet&) {
-  return ctx.queue_bytes > threshold_bytes(ctx.queue, ctx.now);
+  const bool mark = ctx.queue_bytes > threshold_bytes(ctx.queue, ctx.now);
+  metrics_.decision(mark);
+  return mark;
 }
 
 }  // namespace tcn::aqm

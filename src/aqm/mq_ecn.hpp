@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 #include "net/scheduler.hpp"
 #include "sim/time.hpp"
@@ -35,6 +36,7 @@ class MqEcnMarker final : public net::Marker {
  private:
   const net::RoundRateProvider* provider_;
   sim::Time rtt_lambda_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

@@ -6,7 +6,7 @@
 namespace tcn::aqm {
 
 PieMarker::PieMarker(std::size_t num_queues, PieConfig cfg, std::uint64_t seed)
-    : cfg_(cfg), rng_(seed) {
+    : cfg_(cfg), rng_(seed), metrics_("pie") {
   if (num_queues == 0) {
     throw std::invalid_argument("PieMarker: need at least one queue");
   }
@@ -52,6 +52,12 @@ void PieMarker::maybe_update(QState& s, const net::MarkContext& ctx) {
 bool PieMarker::on_enqueue(const net::MarkContext& ctx, const net::Packet&) {
   QState& s = states_.at(ctx.queue);
   maybe_update(s, ctx);
+  const bool mark = decide(s, ctx);
+  metrics_.decision(mark);
+  return mark;
+}
+
+bool PieMarker::decide(QState& s, const net::MarkContext& ctx) {
   // Burst allowance (reference PIE): short bursts below half the target with
   // a small p are let through unmarked, as are near-empty queues.
   if (s.p < 0.2 && s.qdelay < cfg_.target / 2) return false;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqm/marker_metrics.hpp"
 #include "aqm/rate_estimator.hpp"
 #include "net/marker.hpp"
 #include "sim/random.hpp"
@@ -63,10 +64,12 @@ class PieMarker final : public net::Marker {
   };
 
   void maybe_update(QState& s, const net::MarkContext& ctx);
+  bool decide(QState& s, const net::MarkContext& ctx);
 
   PieConfig cfg_;
   std::vector<QState> states_;
   sim::Rng rng_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

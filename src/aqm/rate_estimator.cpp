@@ -44,9 +44,13 @@ IdealRedMarker::IdealRedMarker(std::size_t num_queues,
                                std::uint64_t dq_thresh_bytes,
                                sim::Time rtt_lambda, double w)
     : estimators_(num_queues, DepartureRateEstimator(dq_thresh_bytes, w)),
-      rtt_lambda_(rtt_lambda) {
+      rtt_lambda_(rtt_lambda),
+      metrics_("ideal-red") {
   if (rtt_lambda_ <= 0) {
     throw std::invalid_argument("IdealRedMarker: rtt_lambda must be > 0");
+  }
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::current()) {
+    sample_bps_ = &reg->histogram("aqm.ideal-red.sample_bps");
   }
 }
 
@@ -61,14 +65,23 @@ std::uint64_t IdealRedMarker::threshold_bytes(
 
 bool IdealRedMarker::on_enqueue(const net::MarkContext& ctx,
                                 const net::Packet&) {
-  return ctx.queue_bytes > threshold_bytes(ctx.queue, ctx.link_rate_bps);
+  const bool mark =
+      ctx.queue_bytes > threshold_bytes(ctx.queue, ctx.link_rate_bps);
+  metrics_.decision(mark);
+  return mark;
 }
 
 bool IdealRedMarker::on_dequeue(const net::MarkContext& ctx,
                                 const net::Packet& p) {
   auto& est = estimators_.at(ctx.queue);
-  if (est.on_departure(ctx.now, p.size, ctx.queue_bytes) && observer_) {
-    observer_(ctx.queue, ctx.now, est.sample_rate_Bps(), est.avg_rate_Bps());
+  if (est.on_departure(ctx.now, p.size, ctx.queue_bytes)) {
+    if (sample_bps_ != nullptr) {
+      sample_bps_->record(
+          static_cast<std::int64_t>(est.sample_rate_Bps() * 8.0));
+    }
+    if (observer_) {
+      observer_(ctx.queue, ctx.now, est.sample_rate_Bps(), est.avg_rate_Bps());
+    }
   }
   return false;  // ideal RED marks at enqueue only
 }

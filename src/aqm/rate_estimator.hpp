@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 #include "sim/time.hpp"
 
@@ -78,6 +79,10 @@ class IdealRedMarker final : public net::Marker {
   std::vector<DepartureRateEstimator> estimators_;
   sim::Time rtt_lambda_;
   SampleObserver observer_;
+  MarkerMetrics metrics_;
+  /// Raw per-cycle rate samples (bits/sec) across all queues -- the series
+  /// Fig. 2 summarizes. Null when metrics are disabled.
+  obs::LogHistogram* sample_bps_ = nullptr;
 };
 
 }  // namespace tcn::aqm

@@ -10,6 +10,7 @@ RedEcnMarker::RedEcnMarker(std::uint64_t threshold_bytes, RedScope scope,
   if (threshold_bytes == 0) {
     throw std::invalid_argument("RedEcnMarker: zero threshold");
   }
+  metrics_ = MarkerMetrics(name());
 }
 
 RedEcnMarker::RedEcnMarker(std::vector<std::uint64_t> per_queue_thresholds,
@@ -20,6 +21,7 @@ RedEcnMarker::RedEcnMarker(std::vector<std::uint64_t> per_queue_thresholds,
   if (thresholds_.empty()) {
     throw std::invalid_argument("RedEcnMarker: no thresholds");
   }
+  metrics_ = MarkerMetrics(name());
 }
 
 bool RedEcnMarker::over_threshold(const net::MarkContext& ctx) const {
@@ -32,11 +34,17 @@ bool RedEcnMarker::over_threshold(const net::MarkContext& ctx) const {
 }
 
 bool RedEcnMarker::on_enqueue(const net::MarkContext& ctx, const net::Packet&) {
-  return side_ == RedSide::kEnqueue && over_threshold(ctx);
+  if (side_ != RedSide::kEnqueue) return false;
+  const bool mark = over_threshold(ctx);
+  metrics_.decision(mark);
+  return mark;
 }
 
 bool RedEcnMarker::on_dequeue(const net::MarkContext& ctx, const net::Packet&) {
-  return side_ == RedSide::kDequeue && over_threshold(ctx);
+  if (side_ != RedSide::kDequeue) return false;
+  const bool mark = over_threshold(ctx);
+  metrics_.decision(mark);
+  return mark;
 }
 
 std::string_view RedEcnMarker::name() const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 
 namespace tcn::aqm {
@@ -42,6 +43,7 @@ class RedEcnMarker final : public net::Marker {
   std::vector<std::uint64_t> thresholds_;  // size 1 = uniform
   RedScope scope_;
   RedSide side_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

@@ -8,7 +8,11 @@ RedProbabilisticMarker::RedProbabilisticMarker(std::uint64_t k_min_bytes,
                                                std::uint64_t k_max_bytes,
                                                double p_max,
                                                std::uint64_t seed)
-    : k_min_(k_min_bytes), k_max_(k_max_bytes), p_max_(p_max), rng_(seed) {
+    : k_min_(k_min_bytes),
+      k_max_(k_max_bytes),
+      p_max_(p_max),
+      rng_(seed),
+      metrics_("red-prob") {
   if (k_max_ < k_min_) {
     throw std::invalid_argument("RedProbabilisticMarker: k_max < k_min");
   }
@@ -29,9 +33,10 @@ double RedProbabilisticMarker::probability(std::uint64_t queue_bytes) const {
 bool RedProbabilisticMarker::on_enqueue(const net::MarkContext& ctx,
                                         const net::Packet&) {
   const double p = probability(ctx.queue_bytes);
-  if (p >= 1.0) return true;
-  if (p <= 0.0) return false;
-  return rng_.bernoulli(p);
+  bool mark = p >= 1.0;
+  if (p > 0.0 && p < 1.0) mark = rng_.bernoulli(p);
+  metrics_.decision(mark);
+  return mark;
 }
 
 }  // namespace tcn::aqm

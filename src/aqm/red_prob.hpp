@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 #include "sim/random.hpp"
 
@@ -30,6 +31,7 @@ class RedProbabilisticMarker final : public net::Marker {
   std::uint64_t k_max_;
   double p_max_;
   sim::Rng rng_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

@@ -4,7 +4,8 @@
 
 namespace tcn::aqm {
 
-TcnMarker::TcnMarker(sim::Time threshold) : threshold_(threshold) {
+TcnMarker::TcnMarker(sim::Time threshold)
+    : threshold_(threshold), metrics_("tcn", /*with_sojourn=*/true) {
   if (threshold <= 0) {
     throw std::invalid_argument("TcnMarker: threshold must be positive");
   }
@@ -13,12 +14,19 @@ TcnMarker::TcnMarker(sim::Time threshold) : threshold_(threshold) {
 bool TcnMarker::on_dequeue(const net::MarkContext& ctx, const net::Packet& p) {
   // The per-hop enqueue timestamp is the 2B metadata of Sec. 4.2; the
   // comparison below is the entire data-plane logic of TCN.
-  return ctx.now - p.enqueue_ts > threshold_;
+  const sim::Time sojourn = ctx.now - p.enqueue_ts;
+  const bool mark = sojourn > threshold_;
+  metrics_.decision(mark, sojourn);
+  return mark;
 }
 
 TcnProbabilisticMarker::TcnProbabilisticMarker(sim::Time t_min, sim::Time t_max,
                                                double p_max, std::uint64_t seed)
-    : t_min_(t_min), t_max_(t_max), p_max_(p_max), rng_(seed) {
+    : t_min_(t_min),
+      t_max_(t_max),
+      p_max_(p_max),
+      rng_(seed),
+      metrics_("tcn-prob", /*with_sojourn=*/true) {
   if (t_min < 0 || t_max < t_min) {
     throw std::invalid_argument("TcnProbabilisticMarker: bad thresholds");
   }
@@ -40,9 +48,10 @@ bool TcnProbabilisticMarker::on_dequeue(const net::MarkContext& ctx,
                                         const net::Packet& p) {
   const sim::Time sojourn = ctx.now - p.enqueue_ts;
   const double prob = probability(sojourn);
-  if (prob >= 1.0) return true;
-  if (prob <= 0.0) return false;
-  return rng_.bernoulli(prob);
+  bool mark = prob >= 1.0;
+  if (prob > 0.0 && prob < 1.0) mark = rng_.bernoulli(prob);
+  metrics_.decision(mark, sojourn);
+  return mark;
 }
 
 }  // namespace tcn::aqm

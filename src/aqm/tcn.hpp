@@ -12,6 +12,7 @@
 // Pmax.
 #pragma once
 
+#include "aqm/marker_metrics.hpp"
 #include "net/marker.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -30,6 +31,7 @@ class TcnMarker final : public net::Marker {
 
  private:
   sim::Time threshold_;
+  MarkerMetrics metrics_;
 };
 
 class TcnProbabilisticMarker final : public net::Marker {
@@ -49,6 +51,7 @@ class TcnProbabilisticMarker final : public net::Marker {
   sim::Time t_max_;
   double p_max_;
   sim::Rng rng_;
+  MarkerMetrics metrics_;
 };
 
 }  // namespace tcn::aqm

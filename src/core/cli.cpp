@@ -129,6 +129,13 @@ faults / robustness:
   --check-invariants          attach a runtime invariant checker (byte
                               conservation, occupancy, timestamps) to every
                               port and report the outcome
+observability:
+  --metrics-out PATH          write a tcn-metrics-1 JSON snapshot of every
+                              counter/gauge/histogram after the run ("-" =
+                              stdout; in a sweep: merged across all runs)
+  --trace-out PATH            stream a tcn-trace-1 JSONL per-packet event
+                              trace (enq/deq/drop/mark) during the run
+                              (single-run only, rejected in sweeps)
 sweep execution (tool-level flags, handled by tcnsim itself):
   --loads l1,l2,...           run a load sweep (cross product with --seeds)
   --seeds s1,s2,...           run a seed sweep
@@ -229,6 +236,16 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
       cfg.faults = fault::parse_fault_specs(value());
     } else if (flag == "--check-invariants") {
       cfg.check_invariants = true;
+    } else if (flag == "--metrics-out") {
+      cfg.metrics_out = value();
+      if (cfg.metrics_out.empty()) {
+        throw std::invalid_argument("--metrics-out: empty path");
+      }
+    } else if (flag == "--trace-out") {
+      cfg.trace_out = value();
+      if (cfg.trace_out.empty()) {
+        throw std::invalid_argument("--trace-out: empty path");
+      }
     } else if (flag == "--seed") {
       cfg.seed = to_u64(flag, value());
     } else {

@@ -1,14 +1,19 @@
 #include "core/experiment.hpp"
 
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "net/invariant.hpp"
 #include "net/packet.hpp"
 #include "net/switch.hpp"
+#include "obs/export.hpp"
 #include "pias/pias.hpp"
 #include "sim/simulator.hpp"
+#include "stats/tracer.hpp"
 #include "topo/network.hpp"
 #include "transport/connection_pool.hpp"
 #include "transport/flow.hpp"
@@ -42,6 +47,24 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   net::PacketPool packet_pool;
   net::PacketPool::Scope packet_pool_scope(packet_pool);
 
+  // Per-run metrics registry (third sibling scope): installed before the
+  // topology is built so every Port, Marker and TcpSender resolves its
+  // handles at construction. When metrics are off no scope exists and every
+  // instrument stays a null handle -- observation never changes results.
+  const bool collect_metrics = cfg.collect_metrics || !cfg.metrics_out.empty();
+  obs::MetricsRegistry registry;
+  std::optional<obs::MetricsRegistry::Scope> metrics_scope;
+  if (collect_metrics) metrics_scope.emplace(registry);
+
+  // The trace file opens before the simulation runs a single event, so an
+  // unwritable --trace-out path fails in milliseconds, not after the run.
+  std::ofstream trace_file;
+  std::optional<obs::JsonlTraceWriter> trace_writer;
+  if (!cfg.trace_out.empty()) {
+    trace_file = obs::open_output_file(cfg.trace_out);
+    trace_writer.emplace(trace_file);
+  }
+
   const std::size_t num_sp = is_hybrid(cfg.sched.kind) ? cfg.sched.num_sp : 0;
   const std::size_t num_service_queues =
       cfg.num_service_queues > 0 ? cfg.num_service_queues : cfg.num_services;
@@ -69,16 +92,35 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   fault::FaultInjector injector(sim, cfg.seed ^ 0xfa117a6c7ed5eedULL);
   if (!cfg.faults.empty()) injector.apply(network, cfg.faults);
 
+  // Observer stack over every port (switch egresses and host NICs). Order
+  // matters: the flight recorder runs FIRST so the event that trips the
+  // checker is already in the ring when the post-mortem formats it.
+  obs::FlightRecorder flight_recorder(cfg.flight_recorder_depth);
   net::InvariantChecker checker(/*fail_fast=*/false);
+  std::vector<net::PortObserver*> observers;
   if (cfg.check_invariants) {
+    if (cfg.flight_recorder_depth > 0) {
+      observers.push_back(&flight_recorder);
+      checker.set_postmortem([&] { return flight_recorder.format_tail(); });
+    }
+    observers.push_back(&checker);
+  }
+  if (trace_writer) observers.push_back(&*trace_writer);
+  if (cfg.extra_observer != nullptr) observers.push_back(cfg.extra_observer);
+
+  stats::TeeObserver tee(observers);
+  net::PortObserver* observer = nullptr;
+  if (observers.size() == 1) observer = observers.front();
+  if (observers.size() > 1) observer = &tee;
+  if (observer != nullptr) {
     for (std::size_t s = 0; s < network.num_switches(); ++s) {
       auto& sw = network.switch_at(s);
       for (std::size_t p = 0; p < sw.num_ports(); ++p) {
-        sw.port(p).set_observer(&checker);
+        sw.port(p).set_observer(observer);
       }
     }
     for (std::size_t h = 0; h < network.num_hosts(); ++h) {
-      network.host(h).nic().set_observer(&checker);
+      network.host(h).nic().set_observer(observer);
     }
   }
 
@@ -200,6 +242,21 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     report.invariant_events = checker.events_checked();
     report.invariant_violations = checker.violations();
     report.invariant_message = checker.first_violation();
+  }
+  if (collect_metrics) {
+    report.metrics_collected = true;
+    report.metrics = registry.snapshot();
+    if (!cfg.metrics_out.empty()) {
+      obs::write_text_file(cfg.metrics_out,
+                           obs::metrics_to_json(report.metrics) + "\n");
+    }
+  }
+  if (trace_writer) {
+    report.trace_records = trace_writer->records_written();
+    trace_file.flush();
+    if (!trace_file) {
+      throw std::runtime_error("write failed for '" + cfg.trace_out + "'");
+    }
   }
   return report;
 }

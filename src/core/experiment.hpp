@@ -10,6 +10,9 @@
 
 #include "core/schemes.hpp"
 #include "fault/fault.hpp"
+#include "net/trace.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "stats/fct.hpp"
 #include "transport/tcp.hpp"
 #include "workload/distributions.hpp"
@@ -59,8 +62,26 @@ struct FctExperiment {
 
   /// Attach a net::InvariantChecker to every port (switch egresses and host
   /// NICs) and report the outcome. Violations are collected, not thrown, so
-  /// a broken run still yields a report to debug from.
+  /// a broken run still yields a report to debug from. A flight recorder of
+  /// `flight_recorder_depth` events rides along; its tail is appended to the
+  /// first violation message as a post-mortem.
   bool check_invariants = false;
+  std::size_t flight_recorder_depth = obs::FlightRecorder::kDefaultDepth;
+
+  /// Install a per-run obs::MetricsRegistry so ports, markers and transports
+  /// publish counters/histograms; the snapshot lands in FctReport::metrics.
+  /// Collection changes no simulation result -- only what gets observed.
+  bool collect_metrics = false;
+  /// Write a tcn-metrics-1 snapshot here after the run (implies
+  /// collect_metrics). Unwritable paths throw std::runtime_error.
+  std::string metrics_out;
+  /// Stream a tcn-trace-1 JSONL trace of every port (switch egresses and
+  /// host NICs) here during the run. The file is opened before the
+  /// simulation starts, so unwritable paths fail early.
+  std::string trace_out;
+  /// Extra observer fanned out to every port alongside the checker/trace
+  /// writer (test hook); must outlive the run.
+  net::PortObserver* extra_observer = nullptr;
 
   /// Hard stop; 0 means run until every flow completes or events drain.
   sim::Time time_limit = 0;
@@ -92,6 +113,11 @@ struct FctReport {
   std::uint64_t invariant_events = 0;
   std::uint64_t invariant_violations = 0;
   std::string invariant_message;  ///< first violation, empty when clean
+
+  // Populated when collect_metrics (or metrics_out) was set.
+  bool metrics_collected = false;
+  obs::MetricsSnapshot metrics;
+  std::uint64_t trace_records = 0;  ///< JSONL records written to trace_out
 };
 
 /// Run one experiment; deterministic for a given config (seeded RNG,

@@ -8,10 +8,13 @@ namespace tcn::net {
 
 void InvariantChecker::violation(const TraceRecord& rec,
                                  const std::string& what) {
-  const std::string msg = "invariant violated at t=" + std::to_string(rec.t) +
-                          "ns on " + std::string(rec.port) + " (" +
-                          std::string(trace_event_name(rec.event)) + " q" +
-                          std::to_string(rec.queue) + "): " + what;
+  std::string msg = "invariant violated at t=" + std::to_string(rec.t) +
+                    "ns on " + std::string(rec.port) + " (" +
+                    std::string(trace_event_name(rec.event)) + " q" +
+                    std::to_string(rec.queue) + "): " + what;
+  // First violation gets the flight-recorder post-mortem (if wired): the
+  // last N events leading up to the fault, so the failure explains itself.
+  if (violations_ == 0 && postmortem_) msg += "\n" + postmortem_();
   if (fail_fast_) throw std::logic_error(msg);
   if (violations_ == 0) first_violation_ = msg;
   ++violations_;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,15 @@ class InvariantChecker final : public PortObserver {
     return ports_.size();
   }
 
+  /// Install a post-mortem source: called once, on the FIRST violation, and
+  /// its output is appended to the violation message (and to the exception
+  /// in fail_fast mode). Wired to obs::FlightRecorder::format_tail by the
+  /// experiment harness, so a tripped invariant dumps the last N port
+  /// events instead of dying with a bare message.
+  void set_postmortem(std::function<std::string()> fn) {
+    postmortem_ = std::move(fn);
+  }
+
  private:
   struct PortState {
     sim::Time last_t = 0;
@@ -62,6 +72,7 @@ class InvariantChecker final : public PortObserver {
   std::uint64_t events_checked_ = 0;
   std::uint64_t violations_ = 0;
   std::string first_violation_;
+  std::function<std::string()> postmortem_;
   // Transparent comparator: lookup by string_view without allocating.
   std::map<std::string, PortState, std::less<>> ports_;
 };

@@ -39,9 +39,31 @@ Port::Port(sim::Simulator& sim, std::string name, PortConfig cfg,
         "Port: rate_bps * rate_limit_fraction rounds to zero");
   }
   sched_->bind(&queues_, effective_rate_bps_);
+  resolve_metrics();
 }
 
-void Port::emit(TraceEvent event, const Packet& p, std::size_t queue) {
+void Port::resolve_metrics() {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::current();
+  if (reg == nullptr) return;
+  metrics_.enabled = true;
+  const std::string base = "port." + name_ + ".";
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    const std::string qbase = base + "q" + std::to_string(q) + ".";
+    metrics_.q_enq.push_back(&reg->counter(qbase + "enq_packets"));
+    metrics_.q_deq.push_back(&reg->counter(qbase + "deq_packets"));
+    metrics_.q_drop.push_back(&reg->counter(qbase + "drop_packets"));
+    metrics_.q_sojourn.push_back(&reg->histogram(qbase + "sojourn_ns"));
+  }
+  metrics_.drops_buffer = &reg->counter(base + "drops.buffer");
+  metrics_.drops_fault = &reg->counter(base + "drops.fault");
+  metrics_.marks_enqueue = &reg->counter(base + "marks.enqueue");
+  metrics_.marks_dequeue = &reg->counter(base + "marks.dequeue");
+  metrics_.mark_sojourn = &reg->histogram(base + "mark_sojourn_ns");
+  metrics_.interdeq_gap = &reg->histogram(base + "interdeq_gap_ns");
+}
+
+void Port::emit(TraceEvent event, const Packet& p, std::size_t queue,
+                sim::Time sojourn) {
   TraceRecord rec;
   rec.t = sim_.now();
   rec.event = event;
@@ -53,6 +75,7 @@ void Port::emit(TraceEvent event, const Packet& p, std::size_t queue) {
   rec.dscp = p.dscp;
   rec.queue_bytes = queues_[queue].bytes();
   rec.port_bytes = total_bytes_;
+  rec.sojourn = sojourn;
   observer_->on_event(rec);
 }
 
@@ -64,6 +87,7 @@ void Port::connect(Node* peer, std::size_t peer_ingress) {
 void Port::fault_drop(const Packet& p, std::size_t queue) {
   ++counters_.fault_drops;
   counters_.fault_drop_bytes += p.size;
+  if (metrics_.enabled) metrics_.drops_fault->inc();
   if (observer_ != nullptr) emit(TraceEvent::kFaultDrop, p, queue);
 }
 
@@ -90,6 +114,10 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
     ++counters_.drops;
     counters_.drop_bytes += p->size;
     ++queue_drops_[queue];
+    if (metrics_.enabled) {
+      metrics_.drops_buffer->inc();
+      metrics_.q_drop[queue]->inc();
+    }
     if (observer_ != nullptr) emit(TraceEvent::kDrop, *p, queue);
     return;  // packet destroyed
   }
@@ -97,6 +125,7 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
   total_bytes_ += p->size;
   ++counters_.enq_packets;
   counters_.enq_bytes += p->size;
+  if (metrics_.enabled) metrics_.q_enq[queue]->inc();
 
   Packet& ref = *p;
   queues_[queue].push(std::move(p));
@@ -110,6 +139,10 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
   if (marker_->on_enqueue(ctx, ref) && ref.ect()) {
     ref.ecn = Ecn::kCe;
     ++counters_.marks;
+    if (metrics_.enabled) {
+      metrics_.marks_enqueue->inc();
+      metrics_.mark_sojourn->record(0);  // marked on arrival: no queueing yet
+    }
     if (observer_ != nullptr) emit(TraceEvent::kMark, ref, queue);
   }
   if (observer_ != nullptr) emit(TraceEvent::kEnqueue, ref, queue);
@@ -132,12 +165,25 @@ void Port::try_transmit() {
                         .queue_bytes = queues_[q].bytes(),
                         .port_bytes = total_bytes_,
                         .link_rate_bps = effective_rate_bps_};
+  const sim::Time sojourn = sim_.now() - p->enqueue_ts;
   if (marker_->on_dequeue(ctx, *p) && p->ect()) {
     p->ecn = Ecn::kCe;
     ++counters_.marks;
-    if (observer_ != nullptr) emit(TraceEvent::kMark, *p, q);
+    if (metrics_.enabled) {
+      metrics_.marks_dequeue->inc();
+      metrics_.mark_sojourn->record(sojourn);
+    }
+    if (observer_ != nullptr) emit(TraceEvent::kMark, *p, q, sojourn);
   }
-  if (observer_ != nullptr) emit(TraceEvent::kDequeue, *p, q);
+  if (metrics_.enabled) {
+    metrics_.q_deq[q]->inc();
+    metrics_.q_sojourn[q]->record(sojourn);
+    if (last_dequeue_ >= 0) {
+      metrics_.interdeq_gap->record(sim_.now() - last_dequeue_);
+    }
+    last_dequeue_ = sim_.now();
+  }
+  if (observer_ != nullptr) emit(TraceEvent::kDequeue, *p, q, sojourn);
 
   ++counters_.tx_packets;
   counters_.tx_bytes += p->size;

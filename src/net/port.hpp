@@ -23,6 +23,7 @@
 #include "net/queue.hpp"
 #include "net/scheduler.hpp"
 #include "net/trace.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace tcn::net {
@@ -128,9 +129,30 @@ class Port {
   void set_observer(PortObserver* obs) noexcept { observer_ = obs; }
 
  private:
+  /// Handles into the run's MetricsRegistry, resolved once at construction
+  /// from MetricsRegistry::current(). When no registry scope is installed
+  /// every pointer stays null and `enabled` is false, so each publish site
+  /// in the hot path costs exactly one predictable branch (the same
+  /// discipline as the PortObserver null check).
+  struct Metrics {
+    bool enabled = false;
+    std::vector<obs::Counter*> q_enq;
+    std::vector<obs::Counter*> q_deq;
+    std::vector<obs::Counter*> q_drop;
+    std::vector<obs::LogHistogram*> q_sojourn;
+    obs::Counter* drops_buffer = nullptr;
+    obs::Counter* drops_fault = nullptr;
+    obs::Counter* marks_enqueue = nullptr;
+    obs::Counter* marks_dequeue = nullptr;
+    obs::LogHistogram* mark_sojourn = nullptr;
+    obs::LogHistogram* interdeq_gap = nullptr;
+  };
+
   void try_transmit();
-  void emit(TraceEvent event, const Packet& p, std::size_t queue);
+  void emit(TraceEvent event, const Packet& p, std::size_t queue,
+            sim::Time sojourn = 0);
   void fault_drop(const Packet& p, std::size_t queue);
+  void resolve_metrics();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -149,6 +171,8 @@ class Port {
   Counters counters_;
   std::vector<std::uint64_t> queue_drops_;
   PortObserver* observer_ = nullptr;
+  Metrics metrics_;
+  sim::Time last_dequeue_ = -1;  // -1: no dequeue yet (gap undefined)
 };
 
 }  // namespace tcn::net

@@ -36,6 +36,9 @@ struct TraceRecord {
   std::uint8_t dscp = 0;
   std::uint64_t queue_bytes = 0;  ///< occupancy after the event
   std::uint64_t port_bytes = 0;
+  /// Queueing delay of the packet at this event: now - enqueue timestamp.
+  /// Meaningful on kDequeue and dequeue-side kMark records; 0 otherwise.
+  sim::Time sojourn = 0;
 };
 
 class PortObserver {

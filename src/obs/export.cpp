@@ -1,0 +1,124 @@
+#include "obs/export.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace tcn::obs {
+
+namespace {
+
+void append_field(std::string& line, const char* key, std::uint64_t v) {
+  line += ",\"";
+  line += key;
+  line += "\":";
+  line += std::to_string(v);
+}
+
+}  // namespace
+
+std::string trace_record_to_json(const net::TraceRecord& rec) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"t\":";
+  line += std::to_string(rec.t);
+  line += ",\"ev\":\"";
+  line += net::trace_event_name(rec.event);
+  line += "\",\"port\":\"";
+  line += escape_json(rec.port);
+  line += '"';
+  append_field(line, "q", rec.queue);
+  append_field(line, "flow", rec.flow);
+  append_field(line, "seq", rec.seq);
+  append_field(line, "size", rec.size);
+  append_field(line, "dscp", rec.dscp);
+  append_field(line, "qbytes", rec.queue_bytes);
+  append_field(line, "pbytes", rec.port_bytes);
+  line += ",\"sojourn\":";
+  line += std::to_string(rec.sojourn);
+  line += '}';
+  return line;
+}
+
+JsonlTraceWriter::JsonlTraceWriter(std::ostream& out) : out_(out) {
+  out_ << "{\"schema\":\"tcn-trace-1\"}\n";
+}
+
+void JsonlTraceWriter::on_event(const net::TraceRecord& rec) {
+  line_ = trace_record_to_json(rec);
+  line_ += '\n';
+  out_ << line_;
+  ++records_;
+}
+
+void write_metrics_object(JsonWriter& w, const MetricsSnapshot& snap) {
+  w.key("counters").begin_object();
+  for (const auto& c : snap.counters) {
+    w.key(c.name).value(c.value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : snap.gauges) {
+    w.key(g.name).begin_object();
+    w.key("last").value(g.last);
+    w.key("min").value(g.min);
+    w.key("max").value(g.max);
+    w.key("sets").value(g.sets);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("mean").value(h.count == 0 ? 0.0
+                                     : static_cast<double>(h.sum) /
+                                           static_cast<double>(h.count));
+    w.key("p50").value(h.p50);
+    w.key("p99").value(h.p99);
+    w.key("buckets").begin_array();
+    for (const auto& [floor, count] : h.buckets) {
+      w.begin_array().value(floor).value(count).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snap, int indent) {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("schema").value("tcn-metrics-1");
+  write_metrics_object(w, snap);
+  w.end_object();
+  return w.str();
+}
+
+std::ofstream open_output_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, std::string_view content) {
+  if (path == "-") {
+    std::cout.write(content.data(),
+                    static_cast<std::streamsize>(content.size()));
+    std::cout.flush();
+    return;
+  }
+  auto out = open_output_file(path);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write failed for '" + path + "'");
+  }
+}
+
+}  // namespace tcn::obs

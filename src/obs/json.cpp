@@ -1,11 +1,11 @@
-#include "runner/json.hpp"
+#include "obs/json.hpp"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
-namespace tcn::runner {
+namespace tcn::obs {
 
 std::string format_double(double v) {
   if (!std::isfinite(v)) return "null";
@@ -191,4 +191,4 @@ const std::string& JsonWriter::str() const {
   return out_;
 }
 
-}  // namespace tcn::runner
+}  // namespace tcn::obs

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/export.hpp"
 #include "runner/json.hpp"
 
 namespace tcn::runner {
@@ -57,6 +58,13 @@ void write_run(JsonWriter& w, const RunRecord& r, bool include_timing) {
   w.key("sim_end_s").value(sim::to_seconds(r.report.sim_end));
   w.key("wall_ms").value(include_timing ? r.wall_ms : 0.0);
   w.key("events_per_sec").value(include_timing ? r.events_per_sec : 0.0);
+  // Only present when the run collected metrics, so the baseline document
+  // (and its golden) is byte-for-byte unchanged when observability is off.
+  if (r.report.metrics_collected) {
+    w.key("metrics").begin_object();
+    obs::write_metrics_object(w, r.report.metrics);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -105,6 +113,33 @@ void write_json_file(const SweepResult& res, const std::string& name,
   if (n != doc.size() || close_err != 0) {
     throw std::runtime_error("short write to '" + path + "'");
   }
+}
+
+std::string metrics_to_json(const SweepResult& res, const std::string& name) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.key("schema").value("tcn-metrics-1");
+  w.key("name").value(name);
+  w.key("runs").begin_array();
+  for (const auto& r : res.runs) {
+    if (!r.report.metrics_collected) continue;
+    w.begin_object();
+    w.key("index").value(r.job.index);
+    w.key("group").value(r.job.group);
+    w.key("label").value(r.job.label);
+    obs::write_metrics_object(w, r.report.metrics);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+void write_metrics_file(const SweepResult& res, const std::string& name,
+                        const std::string& path) {
+  obs::write_text_file(path, metrics_to_json(res, name));
 }
 
 }  // namespace tcn::runner

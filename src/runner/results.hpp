@@ -42,4 +42,15 @@ std::string to_json(const SweepResult& res, const std::string& name,
 void write_json_file(const SweepResult& res, const std::string& name,
                      const std::string& path);
 
+/// Merged sweep-level tcn-metrics-1 document: one entry per run that
+/// collected metrics (index/group/label + the run's counters/gauges/
+/// histograms), in job-index order -- byte-identical for any --jobs since
+/// SweepResult::runs is index-ordered regardless of worker scheduling.
+std::string metrics_to_json(const SweepResult& res, const std::string& name);
+
+/// Write `metrics_to_json` to `path` ("-" writes to stdout). Throws
+/// std::runtime_error on I/O failure.
+void write_metrics_file(const SweepResult& res, const std::string& name,
+                        const std::string& path);
+
 }  // namespace tcn::runner

@@ -2,6 +2,7 @@
 // text logging, and per-flow summaries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -25,6 +26,7 @@ class RecordingTracer final : public net::PortObserver {
     if (filter_ && !filter_(rec)) return;
     if (records_.size() < max_) {
       records_.push_back(rec);
+      ++tally_[static_cast<std::size_t>(rec.event)];
     } else {
       ++overflow_;
     }
@@ -35,19 +37,23 @@ class RecordingTracer final : public net::PortObserver {
   }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
 
+  /// Number of STORED records of type `e` (capped records are not counted,
+  /// matching records()). O(1): tallies are maintained on insert -- several
+  /// tests and benches call this in loops.
   [[nodiscard]] std::size_t count(net::TraceEvent e) const {
-    std::size_t n = 0;
-    for (const auto& r : records_) {
-      if (r.event == e) ++n;
-    }
-    return n;
+    return tally_[static_cast<std::size_t>(e)];
   }
 
  private:
+  // One slot per TraceEvent enumerator (kEnqueue..kFaultDrop).
+  static constexpr std::size_t kNumEvents =
+      static_cast<std::size_t>(net::TraceEvent::kFaultDrop) + 1;
+
   std::size_t max_;
   Filter filter_;
   std::vector<net::TraceRecord> records_;
   std::uint64_t overflow_ = 0;
+  std::array<std::size_t, kNumEvents> tally_{};
 };
 
 /// Streams events as one text line each:

@@ -31,9 +31,14 @@ PingApp::PingApp(net::Host& host, std::uint32_t dst, std::uint16_t dst_port,
       dscp_(dscp),
       interval_(interval),
       size_(size_bytes) {
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::current()) {
+    rtt_hist_ = &reg->histogram("ping.rtt_ns");
+  }
   host_.bind(local_port_, [this](net::PacketPtr p) {
     if (p->type != net::PacketType::kPong) return;
-    rtts_.push_back(sim_.now() - p->sent_ts);
+    const sim::Time rtt = sim_.now() - p->sent_ts;
+    rtts_.push_back(rtt);
+    if (rtt_hist_ != nullptr) rtt_hist_->record(rtt);
   });
 }
 

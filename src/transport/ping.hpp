@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/host.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace tcn::transport {
@@ -57,6 +58,8 @@ class PingApp {
   sim::EventId timer_ = sim::kInvalidEvent;
   std::uint64_t sent_ = 0;
   std::vector<sim::Time> rtts_;
+  /// "ping.rtt_ns" histogram (Fig. 5b's series); null when metrics are off.
+  obs::LogHistogram* rtt_hist_ = nullptr;
 };
 
 }  // namespace tcn::transport

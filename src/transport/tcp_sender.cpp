@@ -23,6 +23,12 @@ TcpSender::TcpSender(net::Host& host, std::uint32_t dst, std::uint16_t sport,
       rto_(cfg.rto_init) {
   if (!default_dscp_) default_dscp_ = constant_dscp(0);
   host_.bind(sport_, [this](net::PacketPtr p) { on_ack(std::move(p)); });
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::current()) {
+    metrics_.timeouts = &reg->counter("tcp.timeouts");
+    metrics_.fast_recoveries = &reg->counter("tcp.fast_recoveries");
+    metrics_.ece_acks = &reg->counter("tcp.ece_acks");
+    metrics_.cwnd_reductions = &reg->counter("tcp.cwnd_reductions");
+  }
 }
 
 TcpSender::~TcpSender() {
@@ -143,6 +149,7 @@ void TcpSender::update_alpha_window(std::uint64_t newly_acked, bool ece) {
 
 void TcpSender::ecn_reduce() {
   if (cwr_armed_ && snd_una_ <= cwr_seq_) return;  // once per window
+  if (metrics_.cwnd_reductions != nullptr) metrics_.cwnd_reductions->inc();
   const double mss = cfg_.mss;
   if (cfg_.cc == CongestionControl::kDctcp) {
     cwnd_ = std::max(mss, cwnd_ * (1.0 - alpha_ / 2.0));
@@ -206,6 +213,7 @@ void TcpSender::on_ack(net::PacketPtr ack) {
 
   const std::uint64_t ackno = ack->ack;
   const bool ece = ack->ece;
+  if (ece && metrics_.ece_acks != nullptr) metrics_.ece_acks->inc();
 
   if (ackno > snd_una_) {
     const std::uint64_t newly = ackno - snd_una_;
@@ -285,6 +293,7 @@ void TcpSender::on_ack(net::PacketPtr ack) {
 }
 
 void TcpSender::enter_fast_recovery() {
+  if (metrics_.fast_recoveries != nullptr) metrics_.fast_recoveries->inc();
   in_recovery_ = true;
   recover_ = snd_nxt_;
   const double mss = cfg_.mss;
@@ -299,6 +308,7 @@ void TcpSender::enter_fast_recovery() {
 void TcpSender::on_rto() {
   if (snd_una_ >= stream_end_) return;
   ++timeouts_;
+  if (metrics_.timeouts != nullptr) metrics_.timeouts->inc();
   const double mss = cfg_.mss;
   ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss);
   cwnd_ = mss;

@@ -26,6 +26,7 @@
 #include <map>
 
 #include "net/host.hpp"
+#include "obs/metrics.hpp"
 #include "transport/tcp.hpp"
 
 namespace tcn::transport {
@@ -166,6 +167,17 @@ class TcpSender {
   sim::Time timer_event_at_ = -1;
   sim::EventId timer_event_ = sim::kInvalidEvent;
   std::uint32_t timeouts_ = 0;
+
+  /// Aggregate transport counters ("tcp.*"), resolved once from the
+  /// thread-local MetricsRegistry scope; null handles (metrics disabled)
+  /// cost one branch per publish site.
+  struct Metrics {
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* fast_recoveries = nullptr;
+    obs::Counter* ece_acks = nullptr;
+    obs::Counter* cwnd_reductions = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace tcn::transport

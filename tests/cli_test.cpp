@@ -2,6 +2,9 @@
 // handling, derived parameters, and error messages.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/cli.hpp"
 
 namespace tcn::core {
@@ -106,8 +109,47 @@ TEST(Cli, UsageMentionsEveryFlag) {
   for (const char* flag :
        {"--topology", "--scheme", "--sched", "--load", "--flows",
         "--workload", "--pias", "--transport", "--sack", "--delayed-ack",
-        "--seed", "--rtt-lambda-us", "--red-k-bytes"}) {
+        "--seed", "--rtt-lambda-us", "--red-k-bytes", "--metrics-out",
+        "--trace-out", "--check-invariants", "--faults"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, ObservabilityFlags) {
+  const auto cfg =
+      parse({"--metrics-out", "m.json", "--trace-out", "t.jsonl"});
+  EXPECT_EQ(cfg.metrics_out, "m.json");
+  EXPECT_EQ(cfg.trace_out, "t.jsonl");
+  EXPECT_FALSE(cfg.collect_metrics);  // implied by metrics_out at run time
+  const auto off = parse({});
+  EXPECT_TRUE(off.metrics_out.empty());
+  EXPECT_TRUE(off.trace_out.empty());
+  EXPECT_THROW(parse({"--metrics-out"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--metrics-out", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"--trace-out", ""}), std::invalid_argument);
+}
+
+TEST(Cli, UnwritableMetricsPathThrowsWithPath) {
+  auto cfg = parse({"--flows", "5", "--load", "0.3"});
+  cfg.metrics_out = "/nonexistent-dir-tcn/metrics.json";
+  try {
+    run_fct_experiment(cfg);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-tcn/metrics.json"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, UnwritableTracePathFailsBeforeRunning) {
+  auto cfg = parse({"--flows", "5", "--load", "0.3"});
+  cfg.trace_out = "/nonexistent-dir-tcn/trace.jsonl";
+  try {
+    run_fct_experiment(cfg);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-tcn/trace.jsonl"),
+              std::string::npos);
   }
 }
 

@@ -1,0 +1,158 @@
+// Golden-trace regression test: a tiny fixed-seed SP+DWRR scenario streamed
+// through the tcn-trace-1 JSONL writer and the tcn-metrics-1 exporter, then
+// byte-compared against checked-in goldens. Any change to event ordering,
+// trace schema, metric naming, histogram bucketing or JSON rendering shows
+// up here as a byte diff.
+//
+// Regenerating after an INTENTIONAL format change (review the diff!):
+//
+//   TCN_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test
+//   git diff tests/golden/
+//
+// The scenario is pure fixed-point simulation (no wall clock, no RNG), so
+// the goldens are identical on every platform and under every sanitizer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "aqm/tcn.hpp"
+#include "core/schemes.hpp"
+#include "net/port.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace tcn {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool update_golden() {
+  const char* env = std::getenv("TCN_UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+void compare_or_update(const std::string& name, const std::string& actual) {
+  const auto path = golden_path(name);
+  if (update_golden()) {
+    obs::write_text_file(path, actual);
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  const auto expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << path
+      << " -- regenerate with: TCN_UPDATE_GOLDEN=1 ./golden_trace_test";
+  EXPECT_EQ(actual, expected)
+      << "byte mismatch vs " << path
+      << " -- if the format change is intentional, regenerate with "
+         "TCN_UPDATE_GOLDEN=1 and review the diff";
+}
+
+/// The scenario: one 1G egress port, 3 queues under SP+DWRR (queue 0
+/// strict, queues 1-2 DWRR), a 9KB shared buffer and a 20us TCN marker.
+/// Bursts at t=0/5us/12us build enough backlog for dequeue-side marks and
+/// one tail drop; a late lone packet at 400us dequeues unmarked.
+struct Run {
+  std::string trace;
+  std::string metrics;
+};
+
+Run run_scenario() {
+  net::PacketUidScope uid_scope;
+  net::PacketPool pool;
+  net::PacketPool::Scope pool_scope(pool);
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry::Scope metrics_scope(registry);
+
+  sim::Simulator sim;
+  core::SchedConfig sched_cfg;
+  sched_cfg.kind = core::SchedKind::kSpDwrr;
+  sched_cfg.num_queues = 3;
+  sched_cfg.num_sp = 1;
+
+  net::PortConfig cfg;
+  cfg.rate_bps = 1'000'000'000;
+  cfg.num_queues = 3;
+  cfg.buffer_bytes = 9'000;
+
+  net::Port port(sim, "sw0.p0", cfg, core::make_scheduler_factory(sched_cfg)(),
+                 std::make_unique<aqm::TcnMarker>(20 * sim::kMicrosecond));
+  test::CaptureNode sink;
+  port.connect(&sink, 0);
+
+  std::ostringstream out;
+  obs::JsonlTraceWriter writer(out);
+  port.set_observer(&writer);
+
+  auto enq = [&](std::size_t queue, std::uint32_t size, std::uint64_t flow) {
+    port.enqueue(test::make_test_packet(size, static_cast<std::uint8_t>(queue),
+                                        flow),
+                 queue);
+  };
+  // t=0: one packet per queue plus a short one in queue 1.
+  enq(0, 1500, 1);
+  enq(1, 1500, 2);
+  enq(2, 1500, 3);
+  enq(1, 700, 4);
+  sim.schedule_at(5 * sim::kMicrosecond, [&] {
+    enq(1, 1500, 2);
+    enq(2, 1500, 3);
+    enq(0, 300, 1);
+  });
+  sim.schedule_at(12 * sim::kMicrosecond, [&] {
+    // Burst into queue 2: the last packet overflows the 9KB buffer.
+    enq(2, 1500, 5);
+    enq(2, 1500, 5);
+    enq(2, 1500, 6);
+    enq(2, 1500, 6);
+  });
+  sim.schedule_at(400 * sim::kMicrosecond, [&] { enq(0, 100, 7); });
+  sim.run();
+
+  Run r;
+  r.trace = out.str();
+  r.metrics = obs::metrics_to_json(registry.snapshot()) + "\n";
+  return r;
+}
+
+TEST(GoldenTrace, SpDwrrScenarioTraceBytes) {
+  compare_or_update("trace_sp_dwrr.jsonl", run_scenario().trace);
+}
+
+TEST(GoldenTrace, SpDwrrScenarioMetricsBytes) {
+  compare_or_update("metrics_sp_dwrr.json", run_scenario().metrics);
+}
+
+TEST(GoldenTrace, ScenarioIsSelfConsistent) {
+  // Independent of the goldens: the scenario drains, drops exactly one
+  // packet, and marks at least one dequeue (so the golden actually
+  // exercises every event type).
+  const auto r = run_scenario();
+  EXPECT_NE(r.trace.find("\"ev\":\"drop\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"ev\":\"mark\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"ev\":\"enq\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"ev\":\"deq\""), std::string::npos);
+  // Two runs of the same scenario are byte-identical (determinism).
+  const auto again = run_scenario();
+  EXPECT_EQ(r.trace, again.trace);
+  EXPECT_EQ(r.metrics, again.metrics);
+}
+
+}  // namespace
+}  // namespace tcn

@@ -106,9 +106,21 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!cfg.trace_out.empty()) {
+      throw std::invalid_argument(
+          "--trace-out: single-run only (a sweep would interleave every "
+          "run's events into one file); drop --loads/--seeds/--json");
+    }
+
     tcn::runner::SweepSpec spec;
     spec.name = "tcnsim";
     spec.base = cfg;
+    // In a sweep the per-run metrics_out path would be clobbered by every
+    // worker; collect in-memory per run instead and write one merged
+    // document (job-index order, byte-identical for any --jobs) at the end.
+    const std::string metrics_path = cfg.metrics_out;
+    spec.base.metrics_out.clear();
+    if (!metrics_path.empty()) spec.base.collect_metrics = true;
     spec.schemes = {{tcn::core::scheme_name(cfg.scheme), cfg.scheme}};
     spec.loads = loads.empty() ? std::vector<double>{cfg.load} : loads;
     if (!seeds.empty()) spec.seeds = seeds;
@@ -137,6 +149,9 @@ int main(int argc, char** argv) {
     }
     if (!json_path.empty()) {
       tcn::runner::write_json_file(res, "tcnsim", json_path);
+    }
+    if (!metrics_path.empty()) {
+      tcn::runner::write_metrics_file(res, "tcnsim", metrics_path);
     }
     return res.ok() ? 0 : 2;
   } catch (const std::exception& e) {
