@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
+#include "runner/journal.hpp"
 #include "runner/results.hpp"
 #include "runner/sweep.hpp"
 
@@ -33,6 +35,17 @@ struct Args {
   /// here; empty = observability off, "-" = stdout. Byte-identical for any
   /// --jobs (merge is by job index).
   std::string metrics_out;
+  /// Fault-axis cells (--fault-grid) crossed into every figure grid.
+  std::vector<std::pair<std::string, fault::FaultPlan>> fault_grid;
+  /// What a failed run does to the sweep (--on-failure).
+  runner::FailurePolicy on_failure = runner::FailurePolicy::kCancelAll;
+  /// Max attempts per job; nonzero implies the retry policy (--retries).
+  std::size_t retries = 0;
+  /// tcn-journal-1 checkpoint path (--journal); empty = no journal.
+  std::string journal;
+  /// Journal to restore completed runs from (--resume); extends it in place
+  /// unless --journal names a different file.
+  std::string resume;
 
   static Args parse(int argc, char** argv, const Args& defaults) {
     Args a = defaults;
@@ -45,40 +58,79 @@ struct Args {
         }
         return argv[++i];
       };
-      if (flag == "--flows") {
-        a.flows = std::strtoull(next(), nullptr, 10);
-      } else if (flag == "--seed") {
-        a.seed = std::strtoull(next(), nullptr, 10);
-      } else if (flag == "--jobs") {
-        a.jobs = std::strtoull(next(), nullptr, 10);
-      } else if (flag == "--json") {
-        a.json = next();
-      } else if (flag == "--metrics-out") {
-        a.metrics_out = next();
-      } else if (flag == "--loads") {
-        a.loads.clear();
-        std::string list = next();
-        for (std::size_t pos = 0; pos < list.size();) {
-          const auto comma = list.find(',', pos);
-          const auto token = list.substr(pos, comma - pos);
-          a.loads.push_back(std::strtod(token.c_str(), nullptr));
-          if (comma == std::string::npos) break;
-          pos = comma + 1;
+      try {
+        if (flag == "--flows") {
+          a.flows = std::strtoull(next(), nullptr, 10);
+        } else if (flag == "--seed") {
+          a.seed = std::strtoull(next(), nullptr, 10);
+        } else if (flag == "--jobs") {
+          a.jobs = std::strtoull(next(), nullptr, 10);
+        } else if (flag == "--json") {
+          a.json = next();
+        } else if (flag == "--metrics-out") {
+          a.metrics_out = next();
+        } else if (flag == "--fault-grid") {
+          a.fault_grid = fault::parse_fault_grid(next());
+        } else if (flag == "--on-failure") {
+          a.on_failure = runner::failure_policy_from_name(next());
+        } else if (flag == "--retries") {
+          a.retries = std::strtoull(next(), nullptr, 10);
+          if (a.retries == 0) {
+            std::fprintf(stderr, "--retries: must be >= 1\n");
+            std::exit(2);
+          }
+          a.on_failure = runner::FailurePolicy::kRetry;
+        } else if (flag == "--journal") {
+          a.journal = next();
+        } else if (flag == "--resume") {
+          a.resume = next();
+        } else if (flag == "--loads") {
+          a.loads.clear();
+          std::string list = next();
+          for (std::size_t pos = 0; pos < list.size();) {
+            const auto comma = list.find(',', pos);
+            const auto token = list.substr(pos, comma - pos);
+            a.loads.push_back(std::strtod(token.c_str(), nullptr));
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+          }
+        } else if (flag == "--help" || flag == "-h") {
+          std::printf(
+              "usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n"
+              "          [--jobs N] [--json PATH] [--metrics-out PATH]\n"
+              "          [--fault-grid c1|c2|...] [--on-failure P]\n"
+              "          [--retries N] [--journal PATH] [--resume PATH]\n"
+              "  --jobs N    parallel sweep workers (0 = one per core; "
+              "output\n"
+              "              is byte-identical for any value)\n"
+              "  --json PATH write per-run structured results (tcn-bench-1)\n"
+              "  --metrics-out PATH\n"
+              "              collect per-run observability metrics and "
+              "write\n"
+              "              the merged tcn-metrics-1 snapshot\n"
+              "  --fault-grid c1|c2|...\n"
+              "              sweep a fault axis; each cell is a --faults "
+              "list\n"
+              "              (\"none\" = fault-free)\n"
+              "  --on-failure cancel_all|record_and_continue|retry\n"
+              "  --retries N max attempts per job (implies retry policy)\n"
+              "  --journal PATH\n"
+              "              append a tcn-journal-1 checkpoint per "
+              "completed\n"
+              "              run (fsync'd; survives kill -9)\n"
+              "  --resume PATH\n"
+              "              restore completed runs from a journal, run "
+              "the\n"
+              "              rest; output is byte-identical to an\n"
+              "              uninterrupted sweep\n",
+              argv[0]);
+          std::exit(0);
+        } else {
+          std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+          std::exit(2);
         }
-      } else if (flag == "--help" || flag == "-h") {
-        std::printf(
-            "usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n"
-            "          [--jobs N] [--json PATH] [--metrics-out PATH]\n"
-            "  --jobs N    parallel sweep workers (0 = one per core; output\n"
-            "              is byte-identical for any value)\n"
-            "  --json PATH write per-run structured results (tcn-bench-1)\n"
-            "  --metrics-out PATH\n"
-            "              collect per-run observability metrics and write\n"
-            "              the merged tcn-metrics-1 snapshot\n",
-            argv[0]);
-        std::exit(0);
-      } else {
-        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", flag.c_str(), e.what());
         std::exit(2);
       }
     }
@@ -96,6 +148,16 @@ struct SchemeRun {
 inline runner::SweepOptions sweep_options(const Args& args) {
   runner::SweepOptions opt;
   opt.jobs = args.jobs;
+  opt.failure_policy = args.on_failure;
+  if (args.retries > 0) opt.retry.max_attempts = args.retries;
+  opt.journal_out = args.journal;
+  // --resume with no --journal extends the same journal in place, so a
+  // sweep can be killed and resumed any number of times. Loading the
+  // journal itself is the caller's job (the JournalData must outlive the
+  // sweep).
+  if (!args.resume.empty() && opt.journal_out.empty()) {
+    opt.journal_out = args.resume;
+  }
   opt.on_done = [](const runner::RunRecord& r) {
     if (r.skipped) return;
     if (!r.ok) {
@@ -197,8 +259,30 @@ inline runner::SweepSpec fct_sweep_spec(const char* name,
   spec.name = name;
   spec.base = std::move(base);
   spec.loads = args.loads;
+  spec.faults = args.fault_grid;
   for (const auto& s : schemes) spec.schemes.emplace_back(s.name, s.scheme);
   return spec;
+}
+
+/// Load the --resume journal into `data` and point `opt` at it (no-op when
+/// --resume was not given). `data` must outlive the sweep. Exits with a
+/// message on a missing or mismatched journal.
+inline void apply_resume(const Args& args, const char* sweep_name,
+                         runner::SweepOptions& opt,
+                         runner::JournalData& data) {
+  opt.journal_name = sweep_name;
+  if (args.resume.empty()) return;
+  try {
+    data = runner::load_journal(args.resume);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--resume: %s\n", e.what());
+    std::exit(2);
+  }
+  opt.resume = &data;
+  std::fprintf(stderr, "%s: resuming from %s, %zu of %zu run(s) journaled%s\n",
+               sweep_name, args.resume.c_str(), data.entries.size(),
+               data.total_jobs,
+               data.torn_tail ? " (torn tail dropped)" : "");
 }
 
 /// Runs `base` for every (scheme x load) across --jobs workers and prints
@@ -209,14 +293,24 @@ inline int run_fct_sweep(const char* name, const char* title,
                          const std::vector<SchemeRun>& schemes,
                          const Args& args) {
   const auto spec = fct_sweep_spec(name, std::move(base), schemes, args);
-  const auto res = runner::run_sweep(spec, sweep_options(args));
+  auto opt = sweep_options(args);
+  runner::JournalData journal_data;
+  apply_resume(args, name, opt, journal_data);
+  const auto res = runner::run_sweep(spec, opt);
   if (!res.ok()) {
     std::fprintf(stderr, "%s: %zu run(s) failed, %zu skipped\n", name,
                  res.failed, res.skipped);
+    // Still write the JSON: a failed sweep's partial trajectory (with its
+    // per-run error kinds) is evidence.
+    if (!args.json.empty()) runner::write_json_file(res, name, args.json);
     return 1;
   }
-  print_fct_tables(title, schemes, args.loads, res.runs, 0, args.flows,
-                   args.seed);
+  // A fault axis changes the grid layout the table printers assume
+  // (load-major then scheme); print tables only for the fault-free shape.
+  if (args.fault_grid.empty()) {
+    print_fct_tables(title, schemes, args.loads, res.runs, 0, args.flows,
+                     args.seed);
+  }
   if (!args.json.empty()) runner::write_json_file(res, name, args.json);
   if (!args.metrics_out.empty()) {
     runner::write_metrics_file(res, name, args.metrics_out);

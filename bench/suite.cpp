@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     if (!cli.loads.empty()) slice.args.loads = cli.loads;
     slice.args.seed = cli.seed;
     slice.args.metrics_out = cli.metrics_out;
+    slice.args.fault_grid = cli.fault_grid;
     slice.first = jobs.size();
     const auto spec = bench::fct_sweep_spec(def.name, def.base, def.schemes,
                                             slice.args);
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "suite: %zu runs across %zu figures\n", jobs.size(),
                slices.size());
   auto opt = bench::sweep_options(cli);
+  runner::JournalData journal_data;
+  bench::apply_resume(cli, "suite", opt, journal_data);
   const auto res = runner::run_jobs(std::move(jobs), opt);
 
   if (!res.ok()) {
@@ -66,9 +69,12 @@ int main(int argc, char** argv) {
                  res.failed, res.skipped);
     for (const auto& r : res.runs) {
       if (!r.ok && !r.skipped) {
-        std::fprintf(stderr, "  %s/%s load=%.0f%%: %s\n", r.job.group.c_str(),
-                     r.job.label.c_str(), r.job.cfg.load * 100,
-                     r.error.c_str());
+        std::fprintf(stderr, "  %s/%s load=%.0f%%: %s [%.*s]\n",
+                     r.job.group.c_str(), r.job.label.c_str(),
+                     r.job.cfg.load * 100, r.error.c_str(),
+                     static_cast<int>(
+                         runner::error_kind_name(r.error_kind).size()),
+                     runner::error_kind_name(r.error_kind).data());
       }
     }
     // Still write the JSON: a failed sweep's partial trajectory is evidence.
@@ -76,10 +82,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  for (const auto& slice : slices) {
-    bench::print_fct_tables(slice.def.title, slice.def.schemes,
-                            slice.args.loads, res.runs, slice.first,
-                            slice.args.flows, slice.args.seed);
+  // A fault axis changes the grid layout the table printers assume
+  // (load-major then scheme); the structured JSON carries those cells.
+  if (cli.fault_grid.empty()) {
+    for (const auto& slice : slices) {
+      bench::print_fct_tables(slice.def.title, slice.def.schemes,
+                              slice.args.loads, res.runs, slice.first,
+                              slice.args.flows, slice.args.seed);
+    }
   }
   std::fprintf(stderr,
                "suite: %zu runs ok in %.1f s (%zu workers), json -> %s\n",

@@ -129,6 +129,18 @@ faults / robustness:
   --check-invariants          attach a runtime invariant checker (byte
                               conservation, occupancy, timestamps) to every
                               port and report the outcome
+  --fail-on-invariant         implies --check-invariants; any violation fails
+                              the run (error kind "invariant-violation",
+                              flight-recorder postmortem attached)
+  --wall-budget-ms F          per-run wall-clock watchdog: a run exceeding it
+                              fails as "timeout" instead of hanging its worker
+  --event-budget N            per-run simulated-event budget (deterministic;
+                              exceeding it fails the run as "timeout")
+  --sim-time-budget-s F       per-run simulated-time budget in seconds
+                              (deterministic "timeout"; unlike the normal
+                              time limit, exceeding it is an error)
+  --pending-budget N          cap on pending simulator events; exceeding it
+                              fails the run as "oom-guard"
 observability:
   --metrics-out PATH          write a tcn-metrics-1 JSON snapshot of every
                               counter/gauge/histogram after the run ("-" =
@@ -143,6 +155,20 @@ sweep execution (tool-level flags, handled by tcnsim itself):
                               aggregated output is byte-identical for any N
   --json PATH                 write structured per-run results, schema
                               tcn-bench-1 ("-" = stdout)
+  --fault-grid c1|c2|...      sweep a fault axis: each '|'-separated cell is
+                              a complete --faults list ("none" = fault-free),
+                              crossed with --loads/--seeds
+  --on-failure P              what a failed run does to the sweep:
+                              cancel_all (default; skip the rest) |
+                              record_and_continue | retry
+  --retries N                 max attempts per job (implies --on-failure
+                              retry; exponential backoff with deterministic
+                              jitter between attempts)
+  --journal PATH              append a tcn-journal-1 checkpoint line (fsync'd)
+                              as each run completes
+  --resume PATH               restore completed runs from a journal and run
+                              only the rest; extends PATH in place unless
+                              --journal names a different file
 misc:
   --seed S                    RNG seed (default 1)
   --help
@@ -236,6 +262,24 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
       cfg.faults = fault::parse_fault_specs(value());
     } else if (flag == "--check-invariants") {
       cfg.check_invariants = true;
+    } else if (flag == "--fail-on-invariant") {
+      cfg.check_invariants = true;
+      cfg.fail_on_invariant = true;
+    } else if (flag == "--wall-budget-ms") {
+      cfg.wall_budget_ms = to_double(flag, value());
+      if (cfg.wall_budget_ms <= 0) {
+        throw std::invalid_argument("--wall-budget-ms: must be positive");
+      }
+    } else if (flag == "--event-budget") {
+      cfg.event_budget = to_u64(flag, value());
+    } else if (flag == "--sim-time-budget-s") {
+      cfg.sim_time_budget =
+          static_cast<sim::Time>(to_double(flag, value()) * sim::kSecond);
+      if (cfg.sim_time_budget <= 0) {
+        throw std::invalid_argument("--sim-time-budget-s: must be positive");
+      }
+    } else if (flag == "--pending-budget") {
+      cfg.pending_event_budget = to_u64(flag, value());
     } else if (flag == "--metrics-out") {
       cfg.metrics_out = value();
       if (cfg.metrics_out.empty()) {

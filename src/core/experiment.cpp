@@ -94,13 +94,21 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
 
   // Observer stack over every port (switch egresses and host NICs). Order
   // matters: the flight recorder runs FIRST so the event that trips the
-  // checker is already in the ring when the post-mortem formats it.
+  // checker is already in the ring when the post-mortem formats it. The
+  // recorder also rides along whenever a budget is armed -- a budget kill
+  // is exactly the moment a postmortem pays for itself -- and observers
+  // never change simulation results, only what gets reported.
+  const bool has_budget = cfg.wall_budget_ms > 0.0 || cfg.event_budget != 0 ||
+                          cfg.sim_time_budget != 0 ||
+                          cfg.pending_event_budget != 0;
+  const bool record_flight =
+      cfg.flight_recorder_depth > 0 && (cfg.check_invariants || has_budget);
   obs::FlightRecorder flight_recorder(cfg.flight_recorder_depth);
   net::InvariantChecker checker(/*fail_fast=*/false);
   std::vector<net::PortObserver*> observers;
+  if (record_flight) observers.push_back(&flight_recorder);
   if (cfg.check_invariants) {
-    if (cfg.flight_recorder_depth > 0) {
-      observers.push_back(&flight_recorder);
+    if (record_flight) {
       checker.set_postmortem([&] { return flight_recorder.format_tail(); });
     }
     observers.push_back(&checker);
@@ -209,8 +217,26 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     all2all->start();
   }
 
+  sim::RunBudget budget;
+  budget.max_wall_ms = cfg.wall_budget_ms;
+  budget.max_events = cfg.event_budget;
+  budget.max_sim_time = cfg.sim_time_budget;
+  budget.max_pending = cfg.pending_event_budget;
+  if (budget.any()) sim.set_budget(budget);
+
+  const auto postmortem = [&]() -> std::string {
+    return record_flight ? flight_recorder.format_tail() : std::string();
+  };
+
   const sim::Time limit = cfg.time_limit > 0 ? cfg.time_limit : sim::kTimeMax;
-  sim.run(limit);
+  try {
+    sim.run(limit);
+  } catch (const sim::BudgetExceeded& e) {
+    const RunErrorKind kind = e.kind() == sim::BudgetExceeded::Kind::kPending
+                                  ? RunErrorKind::kOomGuard
+                                  : RunErrorKind::kTimeout;
+    throw ExperimentError(kind, e.what(), postmortem());
+  }
 
   FctReport report;
   report.summary = fct.summary();
@@ -242,6 +268,13 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     report.invariant_events = checker.events_checked();
     report.invariant_violations = checker.violations();
     report.invariant_message = checker.first_violation();
+    if (cfg.fail_on_invariant && report.invariant_violations > 0) {
+      throw ExperimentError(
+          RunErrorKind::kInvariant,
+          std::to_string(report.invariant_violations) +
+              " invariant violation(s) -- first: " + report.invariant_message,
+          postmortem());
+    }
   }
   if (collect_metrics) {
     report.metrics_collected = true;

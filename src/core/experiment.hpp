@@ -19,6 +19,39 @@
 
 namespace tcn::core {
 
+/// Coarse classification of why a run failed -- the error taxonomy the
+/// sweep runner records and the tcn-bench-1 JSON surfaces. Kept in core
+/// (not runner) because run_fct_experiment is what throws it.
+enum class RunErrorKind : std::uint8_t {
+  kException,  ///< any unclassified exception (config error, logic bug)
+  kTimeout,    ///< a wall-clock / sim-time / event budget or the event-storm
+               ///< watchdog tripped
+  kOomGuard,   ///< the pending-event guard tripped (unbounded growth)
+  kInvariant,  ///< invariant checking was strict and found violations
+};
+
+/// Exception run_fct_experiment throws for classified failures. Carries the
+/// taxonomy kind plus an optional flight-recorder postmortem (the last N
+/// port events before death) so a failed run in a 2000-cell sweep explains
+/// itself from the RunRecord alone.
+class ExperimentError : public std::runtime_error {
+ public:
+  ExperimentError(RunErrorKind kind, const std::string& what,
+                  std::string postmortem = {})
+      : std::runtime_error(what),
+        kind_(kind),
+        postmortem_(std::move(postmortem)) {}
+
+  [[nodiscard]] RunErrorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& postmortem() const noexcept {
+    return postmortem_;
+  }
+
+ private:
+  RunErrorKind kind_;
+  std::string postmortem_;
+};
+
 struct FctExperiment {
   enum class Topology { kStarConverge, kLeafSpine };
   Topology topology = Topology::kStarConverge;
@@ -85,6 +118,22 @@ struct FctExperiment {
 
   /// Hard stop; 0 means run until every flow completes or events drain.
   sim::Time time_limit = 0;
+
+  /// Per-run execution budgets (0 = unlimited), enforced inside
+  /// sim::Simulator::run. Unlike time_limit -- a normal stop -- exceeding a
+  /// budget throws ExperimentError: wall/sim-time/event budgets classify as
+  /// kTimeout, the pending-event guard as kOomGuard. Event and sim-time
+  /// budgets are deterministic; the wall-clock watchdog measures the host
+  /// (use it to bound hung jobs, not as a reproducible limit).
+  double wall_budget_ms = 0.0;
+  std::uint64_t event_budget = 0;
+  sim::Time sim_time_budget = 0;
+  std::size_t pending_event_budget = 0;
+
+  /// With check_invariants: treat any invariant violation as a run failure
+  /// (ExperimentError, kind kInvariant, postmortem attached) instead of
+  /// reporting it in FctReport and returning ok.
+  bool fail_on_invariant = false;
 };
 
 struct FctReport {

@@ -232,6 +232,30 @@ FaultPlan parse_fault_specs(const std::string& spec) {
   return plan;
 }
 
+std::vector<std::pair<std::string, FaultPlan>> parse_fault_grid(
+    const std::string& grid) {
+  std::vector<std::pair<std::string, FaultPlan>> cells;
+  // Hand-rolled split: unlike split(), empty cells are meaningful here
+  // (they alias "none"), so getline-with-skip would mislabel "a||b".
+  std::string cell;
+  for (std::size_t pos = 0; pos <= grid.size(); ++pos) {
+    if (pos < grid.size() && grid[pos] != '|') {
+      cell += grid[pos];
+      continue;
+    }
+    if (cell.empty() || cell == "none") {
+      cells.emplace_back("none", FaultPlan{});
+    } else {
+      cells.emplace_back(cell, parse_fault_specs(cell));
+    }
+    cell.clear();
+  }
+  if (cells.empty()) {
+    throw std::invalid_argument("--fault-grid: empty grid");
+  }
+  return cells;
+}
+
 std::uint64_t FaultInjector::next_seed() {
   // splitmix64 step keeps per-model streams decorrelated.
   std::uint64_t x = seed_ + 0x9e3779b97f4a7c15ULL * ++models_created_;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/port.hpp"
@@ -106,6 +107,14 @@ using FaultPlan = std::vector<FaultSpec>;
 ///   squeeze:<target>:<bytes>:<start_ms>:<duration_ms>
 /// Throws std::invalid_argument with a helpful message on bad input.
 FaultPlan parse_fault_specs(const std::string& spec);
+
+/// Parse a '|'-separated --fault-grid string into labelled sweep-axis cells:
+/// each cell is a complete --faults list, and the literal cell "none" (or an
+/// empty cell) is the fault-free plan. The cell text itself is the label, so
+/// "none|loss:leaf*:0.01" yields {("none", {}), ("loss:leaf*:0.01", <plan>)}.
+/// Throws std::invalid_argument on bad input or an empty grid.
+std::vector<std::pair<std::string, FaultPlan>> parse_fault_grid(
+    const std::string& grid);
 
 /// `*`/`?` glob match (no character classes), anchored at both ends.
 [[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);

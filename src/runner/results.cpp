@@ -14,7 +14,9 @@ const char* topology_name(core::FctExperiment::Topology t) {
                                                            : "leafspine";
 }
 
-void write_run(JsonWriter& w, const RunRecord& r, bool include_timing) {
+}  // namespace
+
+void write_run_object(JsonWriter& w, const RunRecord& r, bool include_timing) {
   const auto& cfg = r.job.cfg;
   w.begin_object();
   w.key("index").value(r.job.index);
@@ -26,9 +28,12 @@ void write_run(JsonWriter& w, const RunRecord& r, bool include_timing) {
   w.key("load").value(cfg.load);
   w.key("flows").value(cfg.num_flows);
   w.key("seed").value(cfg.seed);
+  w.key("faults").value(r.job.fault_label);
   w.key("ok").value(r.ok);
   w.key("skipped").value(r.skipped);
   w.key("error").value(r.error);
+  w.key("error_kind").value(error_kind_name(r.error_kind));
+  w.key("attempts").value(r.attempts);
 
   const auto& s = r.report.summary;
   w.key("fct").begin_object();
@@ -65,10 +70,13 @@ void write_run(JsonWriter& w, const RunRecord& r, bool include_timing) {
     obs::write_metrics_object(w, r.report.metrics);
     w.end_object();
   }
+  // Likewise: the flight-recorder tail only appears on runs that died with
+  // one attached.
+  if (!r.postmortem.empty()) {
+    w.key("postmortem").value(r.postmortem);
+  }
   w.end_object();
 }
-
-}  // namespace
 
 std::string to_json(const SweepResult& res, const std::string& name,
                     bool include_timing) {
@@ -86,10 +94,20 @@ std::string to_json(const SweepResult& res, const std::string& name,
   w.key("completed").value(res.completed);
   w.key("failed").value(res.failed);
   w.key("skipped").value(res.skipped);
+  // How the result was produced (fresh vs resumed) is host-execution
+  // metadata like "jobs": zeroed under include_timing=false so a resumed
+  // aggregate stays byte-identical to an uninterrupted one.
+  w.key("restored").value(include_timing ? res.restored : std::size_t{0});
+  w.key("retries").value(res.retries);
+  w.key("failed_timeout").value(res.failed_timeout);
+  w.key("failed_invariant").value(res.failed_invariant);
+  w.key("failed_oom_guard").value(res.failed_oom_guard);
+  w.key("failed_exception").value(res.failed_exception);
+  w.key("pool_exceptions").value(res.pool_exceptions);
   w.key("events").value(total_events);
   w.end_object();
   w.key("runs").begin_array();
-  for (const auto& r : res.runs) write_run(w, r, include_timing);
+  for (const auto& r : res.runs) write_run_object(w, r, include_timing);
   w.end_array();
   w.end_object();
   std::string out = w.str();

@@ -7,29 +7,47 @@
 //     "name": "<sweep name>",
 //     "jobs": <worker threads used>,
 //     "wall_ms": <whole-sweep wall clock>,         // non-deterministic
-//     "totals": { "runs", "completed", "failed", "skipped", "events" },
+//     "totals": { "runs", "completed", "failed", "skipped",
+//                 "restored", "retries", "failed_timeout",
+//                 "failed_invariant", "failed_oom_guard",
+//                 "failed_exception", "pool_exceptions", "events" },
 //     "runs": [ {
 //        "index", "group", "label", "scheme", "sched", "topology",
-//        "load", "flows", "seed", "ok", "skipped", "error",
+//        "load", "flows", "seed", "faults", "ok", "skipped", "error",
+//        "error_kind", "attempts",
 //        "fct": { "count", "avg_all_us", "small_count", "avg_small_us",
 //                 "p99_small_us", "large_count", "avg_large_us",
 //                 "timeouts", "small_timeouts" },
 //        "counters": { "switch_drops", "switch_marks", "fault_drops",
 //                      "pool_fresh", "pool_reused", "pool_recycled" },
 //        "flows_started", "flows_completed", "events", "sim_end_s",
-//        "wall_ms", "events_per_sec"                // non-deterministic
+//        "wall_ms", "events_per_sec",               // non-deterministic
+//        "postmortem"?                              // failed runs only
 //     } ]
 //   }
 //
+// "error_kind" is the failure taxonomy ("", "exception", "timeout",
+// "invariant-violation", "oom-guard", "cancelled"); "attempts" counts
+// executions under the retry policy (0 = never ran); "postmortem" -- the
+// flight-recorder tail captured at death -- appears only when non-empty.
+//
 // Every field except the wall-clock ones is bit-deterministic for a given
-// sweep spec, independent of --jobs (see sweep.hpp).
+// sweep spec, independent of --jobs (see sweep.hpp). The same run object is
+// what the tcn-journal-1 checkpoint stores per completed job.
 #pragma once
 
 #include <string>
 
+#include "obs/json.hpp"
 #include "runner/sweep.hpp"
 
 namespace tcn::runner {
+
+/// Emit one "runs" element (a complete JSON object) for `r`. Shared by the
+/// tcn-bench-1 serializer and the tcn-journal-1 writer so a journaled run
+/// is byte-for-byte the run object a resumed aggregate re-emits.
+void write_run_object(obs::JsonWriter& w, const RunRecord& r,
+                      bool include_timing);
 
 /// Serialize; `include_timing=false` zeroes the host-execution metadata
 /// ("jobs", "wall_ms", "events_per_sec"), giving a fully deterministic

@@ -1,5 +1,7 @@
 #include "runner/thread_pool.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace tcn::runner {
@@ -58,9 +60,10 @@ void ThreadPool::worker_loop() {
     }
     try {
       task();
+    } catch (const std::exception& e) {
+      note_escaped_exception(e.what());
     } catch (...) {
-      // Sweep jobs catch their own exceptions; anything that escapes here
-      // is a harness bug, but crashing a worker would hang wait_idle().
+      note_escaped_exception("unknown exception");
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -69,6 +72,19 @@ void ThreadPool::worker_loop() {
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+void ThreadPool::note_escaped_exception(const char* what) noexcept {
+  // Sweep jobs catch their own exceptions; one escaping into the pool is a
+  // harness bug. Count it, say so, and -- in debug builds -- die where the
+  // evidence is, instead of silently dropping the task's result. Release
+  // builds keep the worker alive so wait_idle() still returns and the
+  // sweep can report the fault via SweepResult::pool_exceptions.
+  faulted_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "ThreadPool: exception escaped a task: %s\n", what);
+#ifndef NDEBUG
+  std::abort();
+#endif
 }
 
 }  // namespace tcn::runner

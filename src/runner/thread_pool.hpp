@@ -51,8 +51,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Throws std::runtime_error after shutdown(). Tasks must
-  /// not throw; a task that does is swallowed (the sweep layer catches and
-  /// records its own exceptions).
+  /// not throw: the sweep layer catches and records its own exceptions, so
+  /// anything escaping into the pool is a harness bug. Escaped exceptions
+  /// are counted (tasks_faulted) and reported on stderr; debug builds abort
+  /// on the spot so the bug cannot hide, release builds keep the worker
+  /// alive so wait_idle() still returns.
   void submit(Task task);
 
   /// Block until every submitted task has finished and the queue is empty.
@@ -71,8 +74,15 @@ class ThreadPool {
     return completed_.load(std::memory_order_relaxed);
   }
 
+  /// Tasks whose exception escaped into the pool -- 0 in a healthy sweep
+  /// (surfaced as SweepResult::pool_exceptions).
+  [[nodiscard]] std::uint64_t tasks_faulted() const noexcept {
+    return faulted_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
+  void note_escaped_exception(const char* what) noexcept;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: queue non-empty or stopping
@@ -82,6 +92,7 @@ class ThreadPool {
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> faulted_{0};
 };
 
 }  // namespace tcn::runner

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -104,12 +105,69 @@ bool Simulator::cancel(EventId id) {
   return inserted;
 }
 
+void Simulator::throw_budget(BudgetExceeded::Kind kind, Time at) const {
+  std::string what = "Simulator::run: ";
+  switch (kind) {
+    case BudgetExceeded::Kind::kWallClock:
+      what += "wall-clock budget of " + std::to_string(budget_.max_wall_ms) +
+              "ms exhausted at t=" + std::to_string(at) + "ns";
+      break;
+    case BudgetExceeded::Kind::kSimTime:
+      what += "sim-time budget of " + std::to_string(budget_.max_sim_time) +
+              "ns exceeded by an event at t=" + std::to_string(at) + "ns";
+      break;
+    case BudgetExceeded::Kind::kEvents:
+      what += "event budget of " + std::to_string(budget_.max_events) +
+              " events exhausted at t=" + std::to_string(at) + "ns";
+      break;
+    case BudgetExceeded::Kind::kPending:
+      what += "pending-event guard tripped: " +
+              std::to_string(heap_.size()) + " heap entries exceed the cap "
+              "of " + std::to_string(budget_.max_pending) +
+              " (a component is scheduling faster than it executes)";
+      break;
+    case BudgetExceeded::Kind::kEventStorm:
+      break;  // formatted at the throw site (needs the storm counter)
+  }
+  what += "; " + std::to_string(executed_) + " events executed, " +
+          std::to_string(pending()) + " pending";
+  throw BudgetExceeded(kind, what);
+}
+
 std::uint64_t Simulator::run(Time until) {
   stopped_ = false;
   std::uint64_t count = 0;
   std::uint64_t storm = 0;
+  // Budget bookkeeping is hoisted out of the loop: with no budget set the
+  // per-event cost is one predictable branch on `has_budget`.
+  const bool has_budget = budget_.any();
+  using WallClock = std::chrono::steady_clock;
+  WallClock::time_point wall_start{};
+  if (budget_.max_wall_ms > 0.0) wall_start = WallClock::now();
   while (!heap_.empty() && !stopped_) {
     if (heap_.front().at > until) break;
+    if (has_budget) {
+      const Time next_at = heap_.front().at;
+      if (budget_.max_events != 0 && executed_ >= budget_.max_events) {
+        throw_budget(BudgetExceeded::Kind::kEvents, next_at);
+      }
+      if (budget_.max_sim_time != 0 && next_at > budget_.max_sim_time) {
+        throw_budget(BudgetExceeded::Kind::kSimTime, next_at);
+      }
+      if (budget_.max_pending != 0 && heap_.size() > budget_.max_pending) {
+        throw_budget(BudgetExceeded::Kind::kPending, next_at);
+      }
+      if (budget_.max_wall_ms > 0.0 &&
+          (executed_ & (kWallCheckInterval - 1)) == 0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(WallClock::now() -
+                                                      wall_start)
+                .count();
+        if (elapsed_ms > budget_.max_wall_ms) {
+          throw_budget(BudgetExceeded::Kind::kWallClock, next_at);
+        }
+      }
+    }
     const Entry e = pop_entry();
     if (!cancelled_.empty()) {
       const auto it = cancelled_.find(e.id);
@@ -122,13 +180,14 @@ std::uint64_t Simulator::run(Time until) {
     assert(e.at >= now_);
     if (e.at == now_) {
       if (++storm > storm_limit_) {
-        throw std::runtime_error(
+        throw BudgetExceeded(
+            BudgetExceeded::Kind::kEventStorm,
             "Simulator::run: event storm -- executed " +
-            std::to_string(storm) + " events without advancing past t=" +
-            std::to_string(now_) +
-            "ns (likely a livelocked component rescheduling itself at the "
-            "current time); " +
-            std::to_string(pending()) + " events still pending");
+                std::to_string(storm) + " events without advancing past t=" +
+                std::to_string(now_) +
+                "ns (likely a livelocked component rescheduling itself at "
+                "the current time); " +
+                std::to_string(pending()) + " events still pending");
       }
     } else {
       storm = 1;

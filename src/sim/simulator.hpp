@@ -30,6 +30,54 @@ namespace tcn::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Per-run execution budgets enforced by Simulator::run(). Every limit is
+/// "0 = unlimited". Event and sim-time budgets are deterministic (they
+/// depend only on the simulation); the wall-clock budget measures the host
+/// and exists to turn a hung job into a diagnosable error instead of a
+/// stuck sweep worker.
+struct RunBudget {
+  /// Hard ceiling on total events executed by this simulator.
+  std::uint64_t max_events = 0;
+  /// Hard ceiling on simulation time: an event scheduled past this instant
+  /// throws instead of executing (distinct from run(until), which is a
+  /// normal stop).
+  Time max_sim_time = 0;
+  /// Wall-clock watchdog for one run() call, in milliseconds. Checked every
+  /// kWallCheckInterval events so the hot path stays clock-free.
+  double max_wall_ms = 0.0;
+  /// OOM guard: ceiling on pending heap entries (a component that schedules
+  /// faster than it executes grows the heap without bound).
+  std::size_t max_pending = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return max_events != 0 || max_sim_time != 0 || max_wall_ms != 0.0 ||
+           max_pending != 0;
+  }
+};
+
+/// Thrown by Simulator::run() when a RunBudget limit (or the event-storm
+/// watchdog) trips. Derives from std::runtime_error so existing catch
+/// sites keep working; the kind lets the sweep runner classify the failure
+/// (timeout vs oom-guard) instead of string-matching what().
+class BudgetExceeded : public std::runtime_error {
+ public:
+  enum class Kind {
+    kWallClock,   ///< max_wall_ms elapsed
+    kSimTime,     ///< next event lies past max_sim_time
+    kEvents,      ///< max_events executed
+    kPending,     ///< heap grew past max_pending (OOM guard)
+    kEventStorm,  ///< same-timestamp livelock watchdog
+  };
+
+  BudgetExceeded(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
 class Simulator {
  public:
   /// Move-only, allocation-free event callable. Captures larger than the
@@ -75,15 +123,27 @@ class Simulator {
 
   /// Run until the event queue drains or simulation time exceeds `until`.
   /// Returns the number of events executed.
-  /// Throws std::runtime_error if more than the event-storm limit of events
-  /// execute at one timestamp -- a livelocked component (an event chain that
-  /// never advances time) becomes a diagnostic error instead of a hang.
+  /// Throws BudgetExceeded (a std::runtime_error) if more than the
+  /// event-storm limit of events execute at one timestamp -- a livelocked
+  /// component (an event chain that never advances time) becomes a
+  /// diagnostic error instead of a hang -- or when any RunBudget limit set
+  /// via set_budget() trips.
   std::uint64_t run(Time until = kTimeMax);
 
   /// Adjust the same-timestamp event-storm watchdog (default 10M events).
   void set_event_storm_limit(std::uint64_t limit) noexcept {
     storm_limit_ = limit;
   }
+
+  /// Install per-run execution budgets (see RunBudget). All limits default
+  /// to unlimited; with no budget set run() pays a single branch per event.
+  void set_budget(const RunBudget& budget) noexcept { budget_ = budget; }
+
+  [[nodiscard]] const RunBudget& budget() const noexcept { return budget_; }
+
+  /// Events between wall-clock reads when max_wall_ms is set; a power of
+  /// two so the check is a mask, not a division.
+  static constexpr std::uint64_t kWallCheckInterval = 4096;
 
   /// Request that run() return after the current event completes.
   void stop() noexcept { stopped_ = true; }
@@ -140,8 +200,12 @@ class Simulator {
     return slot_blocks_[s >> kSlotBlockShift][s & (kSlotBlockSize - 1)];
   }
 
+  /// Throws BudgetExceeded for the budget check that tripped on entry `e`.
+  [[noreturn]] void throw_budget(BudgetExceeded::Kind kind, Time at) const;
+
   Time now_ = 0;
   bool stopped_ = false;
+  RunBudget budget_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t storm_limit_ = 10'000'000;

@@ -110,9 +110,40 @@ TEST(Cli, UsageMentionsEveryFlag) {
        {"--topology", "--scheme", "--sched", "--load", "--flows",
         "--workload", "--pias", "--transport", "--sack", "--delayed-ack",
         "--seed", "--rtt-lambda-us", "--red-k-bytes", "--metrics-out",
-        "--trace-out", "--check-invariants", "--faults"}) {
+        "--trace-out", "--check-invariants", "--faults", "--fault-grid",
+        "--fail-on-invariant", "--wall-budget-ms", "--event-budget",
+        "--sim-time-budget-s", "--pending-budget", "--on-failure",
+        "--retries", "--journal", "--resume"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(Cli, BudgetFlags) {
+  const auto cfg = parse({"--wall-budget-ms", "1500", "--event-budget",
+                          "1000000", "--sim-time-budget-s", "2.5",
+                          "--pending-budget", "50000"});
+  EXPECT_EQ(cfg.wall_budget_ms, 1500.0);
+  EXPECT_EQ(cfg.event_budget, 1'000'000u);
+  EXPECT_EQ(cfg.sim_time_budget, sim::Time{2'500'000'000});
+  EXPECT_EQ(cfg.pending_event_budget, 50'000u);
+  const auto off = parse({});
+  EXPECT_EQ(off.wall_budget_ms, 0.0);
+  EXPECT_EQ(off.event_budget, 0u);
+  EXPECT_EQ(off.sim_time_budget, sim::Time{0});
+  EXPECT_EQ(off.pending_event_budget, 0u);
+  EXPECT_THROW(parse({"--wall-budget-ms", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--wall-budget-ms", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sim-time-budget-s", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--event-budget", "abc"}), std::invalid_argument);
+}
+
+TEST(Cli, FailOnInvariantImpliesChecking) {
+  const auto cfg = parse({"--fail-on-invariant"});
+  EXPECT_TRUE(cfg.check_invariants);
+  EXPECT_TRUE(cfg.fail_on_invariant);
+  const auto off = parse({"--check-invariants"});
+  EXPECT_TRUE(off.check_invariants);
+  EXPECT_FALSE(off.fail_on_invariant);
 }
 
 TEST(Cli, ObservabilityFlags) {

@@ -1,0 +1,377 @@
+// Tests for journaled resume (src/runner/journal): the obs::JsonValue
+// parser underneath it, jobs_digest stability, journal write -> load round
+// trips, torn-tail tolerance, corruption rejection, and the headline
+// crash-resilience guarantee -- a sweep killed mid-run and resumed from its
+// journal produces a tcn-bench-1 document byte-identical to an
+// uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "obs/json_value.hpp"
+#include "runner/journal.hpp"
+#include "runner/results.hpp"
+#include "runner/sweep.hpp"
+#include "sim/time.hpp"
+#include "topo/network.hpp"
+
+namespace tcn {
+namespace {
+
+using obs::JsonValue;
+
+// ----------------------------------------------------------- JSON parser ----
+
+TEST(JsonValue, ParsesScalarsExactly) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  // Integers never round-trip through a double.
+  EXPECT_EQ(JsonValue::parse("18446744073709551615").as_u64(),
+            18446744073709551615ULL);
+  EXPECT_EQ(JsonValue::parse("-9223372036854775808").as_i64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(JsonValue::parse("0.5").as_double(), 0.5);
+  EXPECT_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"a\\\"b\\nc\"").as_string(), "a\"b\nc");
+}
+
+TEST(JsonValue, PreservesObjectKeyOrder) {
+  const auto doc = JsonValue::parse(R"({"z":1,"a":[2,3],"m":{"k":null}})");
+  const auto& obj = doc.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+  EXPECT_EQ(doc.at("a").as_array()[1].as_u64(), 3u);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), obs::JsonParseError);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), obs::JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("1").as_string(), obs::JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("-1").as_u64(), obs::JsonParseError);
+}
+
+// ------------------------------------------------------------- fixtures ----
+
+core::FctExperiment small_cfg() {
+  core::FctExperiment cfg;
+  cfg.scheme = core::Scheme::kTcn;
+  cfg.params.rtt_lambda = 250 * sim::kMicrosecond;
+  cfg.params.red_threshold_bytes = 32'000;
+  cfg.sched.kind = core::SchedKind::kDwrr;
+  cfg.load = 0.4;
+  cfg.num_flows = 40;
+  cfg.num_services = 2;
+  cfg.service_workloads = {workload::Kind::kCache};
+  cfg.star.num_hosts = 5;
+  cfg.star.host_delay = topo::star_host_delay_for_rtt(
+      250 * sim::kMicrosecond, cfg.star.link_prop);
+  cfg.seed = 7;
+  return cfg;
+}
+
+runner::SweepSpec small_spec() {
+  runner::SweepSpec spec;
+  spec.name = "unit";
+  spec.base = small_cfg();
+  spec.schemes = {{"TCN", core::Scheme::kTcn},
+                  {"RED-queue", core::Scheme::kRedPerQueue}};
+  spec.loads = {0.4, 0.6};
+  return spec;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// Keep the header plus the first `keep` record lines (simulated crash).
+void truncate_to_records(const std::string& path, std::size_t keep) {
+  const std::string text = slurp(path);
+  std::size_t pos = 0;
+  for (std::size_t line = 0; line <= keep; ++line) {
+    pos = text.find('\n', pos);
+    ASSERT_NE(pos, std::string::npos);
+    ++pos;
+  }
+  spit(path, text.substr(0, pos));
+}
+
+// ----------------------------------------------------------- jobs digest ----
+
+TEST(Journal, JobsDigestIsStableAndSensitive) {
+  const auto jobs = small_spec().expand();
+  EXPECT_EQ(runner::jobs_digest(jobs), runner::jobs_digest(jobs));
+
+  auto reordered = small_spec();
+  reordered.loads = {0.6, 0.4};  // same cells, different order
+  EXPECT_NE(runner::jobs_digest(reordered.expand()),
+            runner::jobs_digest(jobs));
+
+  auto changed = small_spec();
+  changed.base.seed = 8;
+  EXPECT_NE(runner::jobs_digest(changed.expand()), runner::jobs_digest(jobs));
+
+  auto faulted = small_spec();
+  faulted.faults = {{"none", {}}};
+  EXPECT_NE(runner::jobs_digest(faulted.expand()), runner::jobs_digest(jobs));
+}
+
+// ----------------------------------------------------- write/load cycles ----
+
+TEST(Journal, WriteThenLoadRoundTrips) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  const auto spec = small_spec();
+
+  runner::SweepOptions opt;
+  opt.journal_out = path;
+  opt.journal_name = spec.name;
+  const auto res = runner::run_sweep(spec, opt);
+  ASSERT_TRUE(res.ok());
+
+  const auto data = runner::load_journal(path);
+  EXPECT_EQ(data.name, "unit");
+  EXPECT_EQ(data.total_jobs, 4u);
+  EXPECT_EQ(data.spec_hash, runner::jobs_digest(spec.expand()));
+  EXPECT_FALSE(data.torn_tail);
+  EXPECT_EQ(data.valid_bytes, slurp(path).size());
+  ASSERT_EQ(data.entries.size(), 4u);
+  for (std::size_t i = 0; i < data.entries.size(); ++i) {
+    const auto& e = data.entries[i];
+    EXPECT_EQ(e.index, i);  // de-duplicated ascending
+    EXPECT_TRUE(e.record.ok);
+    EXPECT_TRUE(e.record.restored);
+    EXPECT_EQ(e.record.report.events, res.runs[i].report.events);
+    EXPECT_EQ(e.record.report.sim_end, res.runs[i].report.sim_end);
+    EXPECT_EQ(e.record.report.summary.avg_all_us,
+              res.runs[i].report.summary.avg_all_us);
+    EXPECT_EQ(e.record.job.group, "unit");
+    EXPECT_EQ(e.record.job.label, res.runs[i].job.label);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeReproducesUninterruptedRunByteForByte) {
+  const std::string path = temp_path("journal_resume.jsonl");
+  const auto spec = small_spec();
+
+  // Reference: uninterrupted, no journal.
+  const auto ref = runner::run_sweep(spec, {});
+  ASSERT_TRUE(ref.ok());
+  const auto ref_json = runner::to_json(ref, "unit", /*include_timing=*/false);
+
+  // "Crashed" run: journal every record, then chop the file down to the
+  // first two records as if the process had been killed after job 1.
+  {
+    runner::SweepOptions opt;
+    opt.journal_out = path;
+    opt.journal_name = spec.name;
+    ASSERT_TRUE(runner::run_sweep(spec, opt).ok());
+  }
+  truncate_to_records(path, 2);
+
+  // Resume in place (journal_out == resume path) on several workers.
+  auto data = runner::load_journal(path);
+  ASSERT_EQ(data.entries.size(), 2u);
+  runner::SweepOptions opt;
+  opt.jobs = 4;
+  opt.journal_out = path;
+  opt.resume = &data;
+  const auto res = runner::run_sweep(spec, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.restored, 2u);
+  EXPECT_EQ(res.completed, 4u);
+  EXPECT_EQ(runner::to_json(res, "unit", /*include_timing=*/false), ref_json);
+
+  // The extended journal is now complete: resuming again restores all four.
+  auto again = runner::load_journal(path);
+  ASSERT_EQ(again.entries.size(), 4u);
+  runner::SweepOptions opt2;
+  opt2.resume = &again;
+  const auto res2 = runner::run_sweep(spec, opt2);
+  EXPECT_EQ(res2.restored, 4u);
+  EXPECT_EQ(runner::to_json(res2, "unit", /*include_timing=*/false), ref_json);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FreshJournalWrittenDuringResumeIsSelfComplete) {
+  const std::string a = temp_path("journal_old.jsonl");
+  const std::string b = temp_path("journal_new.jsonl");
+  const auto spec = small_spec();
+  {
+    runner::SweepOptions opt;
+    opt.journal_out = a;
+    opt.journal_name = spec.name;
+    ASSERT_TRUE(runner::run_sweep(spec, opt).ok());
+  }
+  truncate_to_records(a, 1);
+
+  auto data = runner::load_journal(a);
+  runner::SweepOptions opt;
+  opt.journal_out = b;  // different path: restored records are re-appended
+  opt.journal_name = spec.name;
+  opt.resume = &data;
+  ASSERT_TRUE(runner::run_sweep(spec, opt).ok());
+
+  const auto fresh = runner::load_journal(b);
+  EXPECT_EQ(fresh.entries.size(), 4u);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(Journal, FailedRunsAreReExecutedOnResume) {
+  // Only ok records are journaled; a deterministic failure re-runs on
+  // resume and the aggregate still matches the uninterrupted run.
+  const std::string path = temp_path("journal_failures.jsonl");
+  auto spec = small_spec();
+  spec.faults = {{"none", {}},
+                 {"loss:no-such-port:0.01",
+                  fault::parse_fault_specs("loss:no-such-port:0.01")}};
+
+  runner::SweepOptions base;
+  base.failure_policy = runner::FailurePolicy::kRecordAndContinue;
+  const auto ref = runner::run_sweep(spec, base);
+  EXPECT_EQ(ref.failed, 4u);
+
+  auto opt = base;
+  opt.journal_out = path;
+  opt.journal_name = spec.name;
+  runner::run_sweep(spec, opt);
+  auto data = runner::load_journal(path);
+  EXPECT_EQ(data.entries.size(), 4u);  // the four ok cells only
+
+  auto resumed = base;
+  resumed.resume = &data;
+  const auto res = runner::run_sweep(spec, resumed);
+  EXPECT_EQ(res.restored, 4u);
+  EXPECT_EQ(res.failed, 4u);
+  EXPECT_EQ(runner::to_json(res, "unit", /*include_timing=*/false),
+            runner::to_json(ref, "unit", /*include_timing=*/false));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- corruption tolerance ----
+
+TEST(Journal, TornFinalLineIsDropped) {
+  const std::string path = temp_path("journal_torn.jsonl");
+  const auto spec = small_spec();
+  runner::SweepOptions opt;
+  opt.journal_out = path;
+  opt.journal_name = spec.name;
+  ASSERT_TRUE(runner::run_sweep(spec, opt).ok());
+
+  const std::string full = slurp(path);
+  // Simulate kill -9 mid-write: cut the last record line in half.
+  const auto last_line = full.rfind('\n', full.size() - 2) + 1;
+  const auto cut = last_line + (full.size() - 1 - last_line) / 2;
+  spit(path, full.substr(0, cut));
+
+  const auto data = runner::load_journal(path);
+  EXPECT_TRUE(data.torn_tail);
+  EXPECT_EQ(data.valid_bytes, last_line);
+  EXPECT_EQ(data.entries.size(), 3u);
+
+  // Resuming in place truncates the torn tail and completes the journal.
+  runner::SweepOptions ropt;
+  ropt.journal_out = path;
+  ropt.resume = &data;
+  ASSERT_TRUE(runner::run_sweep(spec, ropt).ok());
+  const auto healed = runner::load_journal(path);
+  EXPECT_FALSE(healed.torn_tail);
+  EXPECT_EQ(healed.entries.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptionBeforeTheTailThrows) {
+  const std::string path = temp_path("journal_corrupt.jsonl");
+  const auto spec = small_spec();
+  runner::SweepOptions opt;
+  opt.journal_out = path;
+  opt.journal_name = spec.name;
+  ASSERT_TRUE(runner::run_sweep(spec, opt).ok());
+
+  auto text = slurp(path);
+  text[text.find("\"index\"")] = '#';  // clobber the first record line
+  spit(path, text);
+  EXPECT_THROW(runner::load_journal(path), std::runtime_error);
+
+  spit(path, "not a journal\n");
+  EXPECT_THROW(runner::load_journal(path), std::runtime_error);
+  EXPECT_THROW(runner::load_journal(temp_path("no_such_journal.jsonl")),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, DuplicateIndexKeepsTheLastRecord) {
+  const std::string path = temp_path("journal_dup.jsonl");
+  const auto jobs = small_spec().expand();
+  runner::RunRecord rec;
+  rec.job = jobs[0];
+  rec.ok = true;
+  rec.attempts = 1;
+  rec.report.events = 100;
+  {
+    runner::JournalWriter w(path, "unit", runner::jobs_digest(jobs),
+                            jobs.size());
+    w.append(rec);
+    rec.report.events = 200;  // fresher result for the same index
+    w.append(rec);
+    EXPECT_EQ(w.records_written(), 2u);
+  }
+  const auto data = runner::load_journal(path);
+  ASSERT_EQ(data.entries.size(), 1u);
+  EXPECT_EQ(data.entries[0].record.report.events, 200u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- resume validation ----
+
+TEST(Journal, ResumeRejectsAJournalFromADifferentSweep) {
+  const std::string path = temp_path("journal_mismatch.jsonl");
+  const auto spec = small_spec();
+  runner::SweepOptions opt;
+  opt.journal_out = path;
+  opt.journal_name = spec.name;
+  ASSERT_TRUE(runner::run_sweep(spec, opt).ok());
+  auto data = runner::load_journal(path);
+
+  auto other = small_spec();
+  other.loads = {0.5, 0.7};  // different grid, same size
+  runner::SweepOptions ropt;
+  ropt.resume = &data;
+  EXPECT_THROW(runner::run_sweep(other, ropt), std::runtime_error);
+
+  auto bigger = small_spec();
+  bigger.seeds = {7, 8};  // different job count
+  EXPECT_THROW(runner::run_sweep(bigger, ropt), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tcn

@@ -1,8 +1,9 @@
 // Tests for the parallel sweep runner (src/runner): JSON writer behaviour,
-// grid expansion, thread-pool lifecycle, cancellation on first failure, the
-// determinism contract (same sweep at jobs=1 and jobs=4 produces
-// bit-identical aggregated results), and a golden for the tcn-bench-1
-// JSON schema.
+// grid expansion (including the fault axis), thread-pool lifecycle, failure
+// policies (cancel_all / record_and_continue / retry) with their error
+// taxonomy, the determinism contract (same sweep at jobs=1 and jobs=N
+// produces bit-identical aggregated results, failures included), and a
+// golden for the tcn-bench-1 JSON schema.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/packet.hpp"
 #include "runner/json.hpp"
 #include "runner/results.hpp"
@@ -144,13 +146,29 @@ TEST(ThreadPool, OversizedTasksGoThroughBoxed) {
   pool.shutdown();
 }
 
-TEST(ThreadPool, SurvivesThrowingTask) {
+TEST(ThreadPool, EscapedExceptionsAreCountedNotSwallowed) {
+#ifdef NDEBUG
+  // Release builds survive the escaped exception but count and report it:
+  // a task throw is always a harness bug, never silently dropped.
   runner::ThreadPool pool(1);
   pool.submit([] { throw std::runtime_error("task bug"); });
   std::atomic<bool> ran{false};
   pool.submit([&ran] { ran = true; });
   pool.wait_idle();
   EXPECT_TRUE(ran.load());
+  EXPECT_EQ(pool.tasks_faulted(), 1u);
+  pool.shutdown();
+#else
+  // Debug builds abort instead, so the bug cannot hide behind a green run.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        runner::ThreadPool pool(1);
+        pool.submit([] { throw std::runtime_error("task bug"); });
+        pool.wait_idle();
+      },
+      "exception escaped a task");
+#endif
 }
 
 // ---------------------------------------------------------------- sweep ----
@@ -246,19 +264,25 @@ TEST(Sweep, CancelsRemainingJobsOnFirstFailure) {
   EXPECT_EQ(res.skipped, 3u);  // ...the rest never run
   EXPECT_FALSE(res.runs[0].ok);
   EXPECT_NE(res.runs[0].error.find("services"), std::string::npos);
+  EXPECT_EQ(res.runs[0].error_kind, runner::ErrorKind::kException);
+  EXPECT_EQ(res.runs[0].attempts, 1u);
   EXPECT_TRUE(res.runs[1].skipped);
   EXPECT_EQ(res.runs[1].error, "cancelled");
+  EXPECT_EQ(res.runs[1].error_kind, runner::ErrorKind::kCancelled);
+  EXPECT_EQ(res.runs[1].attempts, 0u);  // never executed
 }
 
-TEST(Sweep, CancelOnFailureOffRunsEverything) {
+TEST(Sweep, RecordAndContinueRunsEverything) {
   auto spec = small_spec();
   spec.base.num_services = 0;
   runner::SweepOptions opt;
   opt.jobs = 2;
-  opt.cancel_on_failure = false;
+  opt.failure_policy = runner::FailurePolicy::kRecordAndContinue;
   const auto res = runner::run_sweep(spec, opt);
   EXPECT_EQ(res.failed, 4u);
   EXPECT_EQ(res.skipped, 0u);
+  EXPECT_EQ(res.failed_exception, 4u);
+  for (const auto& r : res.runs) EXPECT_EQ(r.attempts, 1u);
 }
 
 TEST(Sweep, ParallelFailureSkipsOnlyUnstartedJobs) {
@@ -282,6 +306,164 @@ TEST(Sweep, OnDoneSeesEveryRecord) {
   const auto res = runner::run_sweep(small_spec(), opt);
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(seen.size(), res.runs.size());
+}
+
+// ------------------------------------------------------ failure policies ----
+
+TEST(Sweep, ErrorKindAndFailurePolicyNamesRoundTrip) {
+  using runner::ErrorKind;
+  for (auto k : {ErrorKind::kNone, ErrorKind::kException, ErrorKind::kTimeout,
+                 ErrorKind::kInvariant, ErrorKind::kOomGuard,
+                 ErrorKind::kCancelled}) {
+    EXPECT_EQ(runner::error_kind_from_name(runner::error_kind_name(k)), k);
+  }
+  EXPECT_THROW((void)runner::error_kind_from_name("nope"),
+               std::invalid_argument);
+  using runner::FailurePolicy;
+  for (auto p : {FailurePolicy::kCancelAll, FailurePolicy::kRecordAndContinue,
+                 FailurePolicy::kRetry}) {
+    EXPECT_EQ(runner::failure_policy_from_name(runner::failure_policy_name(p)),
+              p);
+  }
+  EXPECT_THROW((void)runner::failure_policy_from_name("nope"),
+               std::invalid_argument);
+}
+
+TEST(Sweep, RetryBackoffIsDeterministicAndBounded) {
+  runner::RetryPolicy p;  // base 100 ms, cap 5000 ms, jitter 0.5
+  const double a = runner::retry_backoff_ms(p, 2, 7, 42);
+  EXPECT_EQ(a, runner::retry_backoff_ms(p, 2, 7, 42));  // pure function
+  EXPECT_NE(a, runner::retry_backoff_ms(p, 2, 8, 42));  // decorrelated by job
+  EXPECT_NE(a, runner::retry_backoff_ms(p, 3, 7, 42));  // ...and by attempt
+  EXPECT_GE(a, 50.0);  // attempt 2: base * [1-jitter, 1+jitter)
+  EXPECT_LT(a, 150.0);
+  const double b = runner::retry_backoff_ms(p, 3, 7, 42);
+  EXPECT_GE(b, 100.0);  // attempt 3 doubles the base
+  EXPECT_LT(b, 300.0);
+  p.jitter = 0.0;
+  // The exponential curve is capped, and attempt 1 never waits.
+  EXPECT_EQ(runner::retry_backoff_ms(p, 30, 0, 0), p.backoff_max_ms);
+  EXPECT_EQ(runner::retry_backoff_ms(p, 1, 0, 0), 0.0);
+}
+
+TEST(Sweep, RetryRecordsAttemptsAndGivesUp) {
+  auto spec = small_spec();
+  spec.base.num_services = 0;  // deterministic failure: retries cannot help
+  runner::SweepOptions opt;
+  opt.jobs = 2;
+  opt.failure_policy = runner::FailurePolicy::kRetry;
+  opt.retry.max_attempts = 3;
+  opt.retry_sleep = false;
+  const auto res = runner::run_sweep(spec, opt);
+  EXPECT_EQ(res.failed, 4u);
+  EXPECT_EQ(res.skipped, 0u);
+  EXPECT_EQ(res.retries, 4u * 2u);  // two extra executions per job
+  for (const auto& r : res.runs) {
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.error_kind, runner::ErrorKind::kException);
+  }
+}
+
+TEST(Sweep, FailureDeterminismAcrossJobCounts) {
+  // Mixed grid: "none" cells succeed; the bad-target fault cells throw
+  // deterministically when the plan is applied to the topology. The
+  // aggregated document (minus wall-clock fields) must not depend on the
+  // worker count under either non-cancelling policy.
+  auto spec = small_spec();
+  spec.faults = {{"none", {}},
+                 {"loss:no-such-port:0.01",
+                  fault::parse_fault_specs("loss:no-such-port:0.01")}};
+  for (auto policy : {runner::FailurePolicy::kRecordAndContinue,
+                      runner::FailurePolicy::kRetry}) {
+    runner::SweepOptions serial;
+    serial.jobs = 1;
+    serial.failure_policy = policy;
+    serial.retry.max_attempts = 2;
+    serial.retry_sleep = false;
+    runner::SweepOptions parallel = serial;
+    parallel.jobs = 8;
+    const auto a = runner::run_sweep(spec, serial);
+    const auto b = runner::run_sweep(spec, parallel);
+    ASSERT_EQ(a.runs.size(), 8u);
+    EXPECT_EQ(a.completed, 4u);
+    EXPECT_EQ(a.failed, 4u);
+    EXPECT_EQ(a.failed_exception, 4u);
+    EXPECT_EQ(b.failed, 4u);
+    EXPECT_EQ(runner::to_json(a, "unit", /*include_timing=*/false),
+              runner::to_json(b, "unit", /*include_timing=*/false))
+        << "policy " << runner::failure_policy_name(policy);
+  }
+}
+
+TEST(Sweep, EventBudgetRecordsTimeout) {
+  auto spec = small_spec();
+  spec.schemes = {{"TCN", core::Scheme::kTcn}};
+  spec.loads = {0.4};
+  spec.base.event_budget = 500;  // far fewer events than the run needs
+  runner::SweepOptions opt;
+  opt.failure_policy = runner::FailurePolicy::kRecordAndContinue;
+  const auto res = runner::run_sweep(spec, opt);
+  ASSERT_EQ(res.runs.size(), 1u);
+  EXPECT_FALSE(res.runs[0].ok);
+  EXPECT_EQ(res.runs[0].error_kind, runner::ErrorKind::kTimeout);
+  EXPECT_NE(res.runs[0].error.find("budget"), std::string::npos)
+      << res.runs[0].error;
+  EXPECT_EQ(res.failed_timeout, 1u);
+}
+
+TEST(Sweep, HarnessMetricsMirrorTotals) {
+  auto spec = small_spec();
+  spec.base.num_services = 0;
+  runner::SweepOptions opt;
+  opt.failure_policy = runner::FailurePolicy::kRecordAndContinue;
+  const auto res = runner::run_sweep(spec, opt);
+  auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : res.harness_metrics.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return ~std::uint64_t{0};
+  };
+  EXPECT_EQ(counter("runner/jobs_total"), res.runs.size());
+  EXPECT_EQ(counter("runner/completed"), res.completed);
+  EXPECT_EQ(counter("runner/failed"), res.failed);
+  EXPECT_EQ(counter("runner/failed_exception"), res.failed_exception);
+  EXPECT_EQ(counter("runner/skipped"), res.skipped);
+  EXPECT_EQ(counter("runner/restored"), 0u);
+  EXPECT_EQ(counter("runner/pool_exceptions"), 0u);
+}
+
+// ------------------------------------------------------------ fault axis ----
+
+TEST(Sweep, ParseFaultGridLabelsCells) {
+  const auto cells = fault::parse_fault_grid("none|loss:leaf*:0.01");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].first, "none");
+  EXPECT_TRUE(cells[0].second.empty());
+  EXPECT_EQ(cells[1].first, "loss:leaf*:0.01");
+  ASSERT_EQ(cells[1].second.size(), 1u);
+  EXPECT_EQ(cells[1].second[0].kind, fault::FaultSpec::Kind::kBernoulliLoss);
+  // An empty cell is the fault-free plan, same as the literal "none".
+  EXPECT_TRUE(fault::parse_fault_grid("|linkdown:h0-sw:1:2")[0].second.empty());
+  EXPECT_THROW(fault::parse_fault_grid("bogus:x"), std::invalid_argument);
+}
+
+TEST(Sweep, FaultGridIsInnermostAxis) {
+  auto spec = small_spec();  // 2 loads x 2 schemes
+  spec.faults = {{"none", {}},
+                 {"loss:*:0.01", fault::parse_fault_specs("loss:*:0.01")}};
+  const auto jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 8u);
+  EXPECT_EQ(jobs[0].fault_label, "none");
+  EXPECT_TRUE(jobs[0].cfg.faults.empty());
+  EXPECT_EQ(jobs[1].fault_label, "loss:*:0.01");
+  ASSERT_EQ(jobs[1].cfg.faults.size(), 1u);
+  // Adjacent fault cells share every other grid coordinate.
+  EXPECT_EQ(jobs[1].label, jobs[0].label);
+  EXPECT_EQ(jobs[1].cfg.load, jobs[0].cfg.load);
+  EXPECT_EQ(jobs[1].cfg.seed, jobs[0].cfg.seed);
+  EXPECT_EQ(jobs[2].fault_label, "none");
+  EXPECT_EQ(jobs[2].label, "RED-queue");
 }
 
 // ----------------------------------------------------------- JSON golden ----
@@ -324,10 +506,13 @@ TEST(Results, JsonMatchesSchemaGolden) {
       // header
       "schema", "name", "jobs", "wall_ms",
       // totals
-      "totals", "runs", "completed", "failed", "skipped", "events",
+      "totals", "runs", "completed", "failed", "skipped", "restored",
+      "retries", "failed_timeout", "failed_invariant", "failed_oom_guard",
+      "failed_exception", "pool_exceptions", "events",
       // the single run record
       "runs", "index", "group", "label", "scheme", "sched", "topology",
-      "load", "flows", "seed", "ok", "skipped", "error",
+      "load", "flows", "seed", "faults", "ok", "skipped", "error",
+      "error_kind", "attempts",
       "fct", "count", "avg_all_us", "small_count", "avg_small_us",
       "p99_small_us", "large_count", "avg_large_us", "timeouts",
       "small_timeouts",

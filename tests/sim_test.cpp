@@ -188,6 +188,77 @@ TEST(Simulator, EventStormWatchdogThrows) {
   EXPECT_EQ(s.now(), 5);  // livelock was pinned at the stuck timestamp
 }
 
+TEST(Simulator, EventBudgetThrowsWithKind) {
+  Simulator s;
+  s.set_budget({.max_events = 10});
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.schedule_in(1, tick);
+  };
+  s.schedule_at(0, tick);
+  try {
+    s.run();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kEvents);
+  }
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Simulator, SimTimeBudgetThrowsWithKind) {
+  Simulator s;
+  s.set_budget({.max_sim_time = 100});
+  s.schedule_at(50, [] {});   // within budget: runs
+  s.schedule_at(200, [] {});  // past budget: throws instead of executing
+  try {
+    s.run();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kSimTime);
+  }
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(Simulator, PendingBudgetActsAsOomGuard) {
+  Simulator s;
+  s.set_budget({.max_pending = 100});
+  std::function<void()> fanout = [&] {
+    for (int i = 0; i < 10; ++i) s.schedule_in(1, fanout);  // grows the heap
+  };
+  s.schedule_at(0, fanout);
+  try {
+    s.run();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kPending);
+  }
+}
+
+TEST(Simulator, WallClockBudgetTripsOnARunawayRun) {
+  Simulator s;
+  s.set_budget({.max_wall_ms = 0.01});
+  // Time advances every event, so neither the storm watchdog nor any
+  // deterministic budget fires -- only the wall-clock watchdog can stop it.
+  std::function<void()> forever = [&] { s.schedule_in(1, forever); };
+  s.schedule_at(0, forever);
+  try {
+    s.run();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::kWallClock);
+  }
+}
+
+TEST(Simulator, ZeroBudgetsAreUnlimited) {
+  Simulator s;
+  s.set_budget({});
+  int ran = 0;
+  for (int i = 0; i < 50; ++i) s.schedule_at(i, [&ran] { ++ran; });
+  EXPECT_NO_THROW(s.run());
+  EXPECT_EQ(ran, 50);
+}
+
 TEST(Simulator, EventStormCounterResetsOnTimeAdvance) {
   Simulator s;
   s.set_event_storm_limit(10);

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "core/cli.hpp"
+#include "fault/fault.hpp"
+#include "runner/journal.hpp"
 #include "runner/results.hpp"
 #include "runner/sweep.hpp"
 
@@ -65,6 +67,10 @@ int main(int argc, char** argv) {
     std::string json_path;
     std::vector<double> loads;
     std::vector<std::uint64_t> seeds;
+    std::vector<std::pair<std::string, tcn::fault::FaultPlan>> fault_grid;
+    tcn::runner::SweepOptions opt;
+    std::string resume_path;
+    bool on_failure_set = false;
     std::vector<std::string> rest;
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& flag = args[i];
@@ -88,6 +94,29 @@ int main(int argc, char** argv) {
           seeds.push_back(to_u64(flag, t));
         }
         if (seeds.empty()) throw std::invalid_argument("--seeds: empty list");
+      } else if (flag == "--fault-grid") {
+        fault_grid = tcn::fault::parse_fault_grid(value());
+      } else if (flag == "--on-failure") {
+        opt.failure_policy = tcn::runner::failure_policy_from_name(value());
+        on_failure_set = true;
+      } else if (flag == "--retries") {
+        opt.retry.max_attempts = to_u64(flag, value());
+        if (opt.retry.max_attempts == 0) {
+          throw std::invalid_argument("--retries: must be >= 1");
+        }
+        if (!on_failure_set) {
+          opt.failure_policy = tcn::runner::FailurePolicy::kRetry;
+        }
+      } else if (flag == "--journal") {
+        opt.journal_out = value();
+        if (opt.journal_out.empty()) {
+          throw std::invalid_argument("--journal: empty path");
+        }
+      } else if (flag == "--resume") {
+        resume_path = value();
+        if (resume_path.empty()) {
+          throw std::invalid_argument("--resume: empty path");
+        }
       } else {
         rest.push_back(flag);
       }
@@ -95,8 +124,9 @@ int main(int argc, char** argv) {
 
     const auto cfg = tcn::core::parse_cli(rest);
 
-    const bool single =
-        loads.size() <= 1 && seeds.size() <= 1 && json_path.empty();
+    const bool single = loads.size() <= 1 && seeds.size() <= 1 &&
+                        json_path.empty() && fault_grid.empty() &&
+                        opt.journal_out.empty() && resume_path.empty();
     if (single) {
       auto one = cfg;
       if (!loads.empty()) one.load = loads[0];
@@ -124,9 +154,25 @@ int main(int argc, char** argv) {
     spec.schemes = {{tcn::core::scheme_name(cfg.scheme), cfg.scheme}};
     spec.loads = loads.empty() ? std::vector<double>{cfg.load} : loads;
     if (!seeds.empty()) spec.seeds = seeds;
+    spec.faults = std::move(fault_grid);
 
-    tcn::runner::SweepOptions opt;
     opt.jobs = jobs;
+    opt.journal_name = spec.name;
+    // --resume with no --journal extends the same journal in place, so a
+    // sweep can be killed and resumed any number of times.
+    if (!resume_path.empty() && opt.journal_out.empty()) {
+      opt.journal_out = resume_path;
+    }
+    tcn::runner::JournalData journal_data;
+    if (!resume_path.empty()) {
+      journal_data = tcn::runner::load_journal(resume_path);
+      opt.resume = &journal_data;
+      std::fprintf(stderr,
+                   "resuming from %s: %zu of %zu run(s) journaled%s\n",
+                   resume_path.c_str(), journal_data.entries.size(),
+                   journal_data.total_jobs,
+                   journal_data.torn_tail ? " (torn tail dropped)" : "");
+    }
     opt.on_done = [](const tcn::runner::RunRecord& r) {
       if (r.skipped) return;
       std::fprintf(stderr, "  [load=%.0f%% seed=%llu] %s (%.0f ms)\n",
@@ -137,8 +183,15 @@ int main(int argc, char** argv) {
     const auto res = tcn::runner::run_sweep(spec, opt);
 
     for (const auto& r : res.runs) {
-      std::printf("== load=%.0f%% seed=%llu ==\n", r.job.cfg.load * 100,
-                  static_cast<unsigned long long>(r.job.cfg.seed));
+      if (r.job.fault_label.empty()) {
+        std::printf("== load=%.0f%% seed=%llu ==\n", r.job.cfg.load * 100,
+                    static_cast<unsigned long long>(r.job.cfg.seed));
+      } else {
+        std::printf("== load=%.0f%% seed=%llu faults=%s ==\n",
+                    r.job.cfg.load * 100,
+                    static_cast<unsigned long long>(r.job.cfg.seed),
+                    r.job.fault_label.c_str());
+      }
       if (r.ok) {
         std::fputs(tcn::core::format_report(r.job.cfg, r.report).c_str(),
                    stdout);
