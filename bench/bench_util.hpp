@@ -19,6 +19,7 @@
 #include "runner/journal.hpp"
 #include "runner/results.hpp"
 #include "runner/sweep.hpp"
+#include "traffic/spec.hpp"
 
 namespace tcn::bench {
 
@@ -37,6 +38,9 @@ struct Args {
   std::string metrics_out;
   /// Fault-axis cells (--fault-grid) crossed into every figure grid.
   std::vector<std::pair<std::string, fault::FaultPlan>> fault_grid;
+  /// Traffic-axis cells (--traffic-grid) crossed into every figure grid;
+  /// "none" is the closed-loop baseline cell.
+  std::vector<std::pair<std::string, traffic::TrafficSpec>> traffic_grid;
   /// What a failed run does to the sweep (--on-failure).
   runner::FailurePolicy on_failure = runner::FailurePolicy::kCancelAll;
   /// Max attempts per job; nonzero implies the retry policy (--retries).
@@ -71,6 +75,8 @@ struct Args {
           a.metrics_out = next();
         } else if (flag == "--fault-grid") {
           a.fault_grid = fault::parse_fault_grid(next());
+        } else if (flag == "--traffic-grid") {
+          a.traffic_grid = traffic::parse_traffic_grid(next());
         } else if (flag == "--on-failure") {
           a.on_failure = runner::failure_policy_from_name(next());
         } else if (flag == "--retries") {
@@ -98,7 +104,9 @@ struct Args {
           std::printf(
               "usage: %s [--flows N] [--loads l1,l2,...] [--seed S]\n"
               "          [--jobs N] [--json PATH] [--metrics-out PATH]\n"
-              "          [--fault-grid c1|c2|...] [--on-failure P]\n"
+              "          [--fault-grid c1|c2|...] [--traffic-grid "
+              "c1|c2|...]\n"
+              "          [--on-failure P]\n"
               "          [--retries N] [--journal PATH] [--resume PATH]\n"
               "  --jobs N    parallel sweep workers (0 = one per core; "
               "output\n"
@@ -112,6 +120,10 @@ struct Args {
               "              sweep a fault axis; each cell is a --faults "
               "list\n"
               "              (\"none\" = fault-free)\n"
+              "  --traffic-grid c1|c2|...\n"
+              "              sweep an open-loop traffic axis; each cell is "
+              "a\n"
+              "              --traffic spec (\"none\" = closed loop)\n"
               "  --on-failure cancel_all|record_and_continue|retry\n"
               "  --retries N max attempts per job (implies retry policy)\n"
               "  --journal PATH\n"
@@ -260,6 +272,7 @@ inline runner::SweepSpec fct_sweep_spec(const char* name,
   spec.base = std::move(base);
   spec.loads = args.loads;
   spec.faults = args.fault_grid;
+  spec.traffics = args.traffic_grid;
   for (const auto& s : schemes) spec.schemes.emplace_back(s.name, s.scheme);
   return spec;
 }
@@ -305,9 +318,9 @@ inline int run_fct_sweep(const char* name, const char* title,
     if (!args.json.empty()) runner::write_json_file(res, name, args.json);
     return 1;
   }
-  // A fault axis changes the grid layout the table printers assume
-  // (load-major then scheme); print tables only for the fault-free shape.
-  if (args.fault_grid.empty()) {
+  // A fault or traffic axis changes the grid layout the table printers
+  // assume (load-major then scheme); print tables only for the plain shape.
+  if (args.fault_grid.empty() && args.traffic_grid.empty()) {
     print_fct_tables(title, schemes, args.loads, res.runs, 0, args.flows,
                      args.seed);
   }

@@ -28,6 +28,7 @@
 #include "aqm/red_ecn.hpp"
 #include "aqm/tcn.hpp"
 #include "net/fifo_scheduler.hpp"
+#include "net/host.hpp"
 #include "net/marker.hpp"
 #include "net/packet.hpp"
 #include "net/port.hpp"
@@ -37,6 +38,8 @@
 #include "sched/dwrr.hpp"
 #include "sched/wfq.hpp"
 #include "sim/simulator.hpp"
+#include "traffic/flow_slab.hpp"
+#include "transport/tcp.hpp"
 
 namespace {
 
@@ -317,6 +320,97 @@ BenchResult bench_packet_legacy(double min_secs) {
       min_secs);
 }
 
+// -------------------------------------------------------- flow-slab churn ----
+
+constexpr int kFlowBatch = 256;
+constexpr int kFlowInFlight = 32;
+
+/// Open-loop flow churn against the FlowSlab: acquire a slot, construct the
+/// TcpSink/TcpSender pair into it (recycled ports included), hold a small
+/// concurrent population, recycle. After warmup every acquire is a LIFO
+/// free-list pop and the TCP objects reconstruct into warm slots -- the
+/// steady-state cost of starting one flow in the open-loop engine.
+BenchResult bench_flow_slab(double min_secs) {
+  sim::Simulator s;
+  net::PacketUidScope uids;
+  traffic::FlowUidScope fuids;
+  net::PortConfig nic;
+  nic.rate_bps = 10'000'000'000ULL;
+  net::Host src(s, "h0", 1, nic);
+  net::Host dst(s, "h1", 2, nic);
+  traffic::FlowSlab slab;
+  traffic::FlowSlab::Scope scope(slab);
+  transport::TcpConfig tcp;
+  std::vector<std::uint32_t> in_flight;
+  in_flight.reserve(kFlowInFlight);
+  BenchResult r = measure(
+      "flow_slab_churn", kFlowBatch,
+      [&] {
+        for (int i = 0; i < kFlowBatch / kFlowInFlight; ++i) {
+          for (int j = 0; j < kFlowInFlight; ++j) {
+            const std::uint32_t idx = slab.acquire();
+            auto& slot = slab.at(idx);
+            slot.flow_id = fuids.next();
+            slot.size = 10'000;
+            slot.src_addr = src.address();
+            slot.dst_addr = dst.address();
+            slot.sport = slab.checkout_port(src);
+            slot.dport = slab.checkout_port(dst);
+            slot.sink.emplace(dst, slot.dport, 0);
+            slot.sender.emplace(src, dst.address(), slot.sport, slot.dport,
+                                slot.flow_id, tcp,
+                                transport::constant_dscp(0), 0, nullptr);
+            in_flight.push_back(idx);
+          }
+          for (const auto idx : in_flight) slab.recycle(idx);
+          in_flight.clear();
+        }
+      },
+      min_secs);
+  r.pool_fresh = slab.fresh_allocs();
+  r.pool_reused = slab.reuses();
+  r.pool_recycled = slab.recycles();
+  return r;
+}
+
+/// The closed-loop FlowManager memory model applied to the same churn: one
+/// heap-allocated entry per flow, fresh ephemeral ports every time, entry
+/// freed (not recycled) at completion. What open-loop runs would pay per
+/// flow without the slab.
+BenchResult bench_flow_heap(double min_secs) {
+  sim::Simulator s;
+  net::PacketUidScope uids;
+  net::PortConfig nic;
+  nic.rate_bps = 10'000'000'000ULL;
+  net::Host src(s, "h0", 1, nic);
+  net::Host dst(s, "h1", 2, nic);
+  transport::TcpConfig tcp;
+  struct Entry {
+    std::optional<transport::TcpSink> sink;
+    std::optional<transport::TcpSender> sender;
+  };
+  std::uint64_t flow_id = 0;
+  std::vector<std::unique_ptr<Entry>> in_flight;
+  in_flight.reserve(kFlowInFlight);
+  return measure(
+      "legacy_flow_heap_churn", kFlowBatch,
+      [&] {
+        for (int i = 0; i < kFlowBatch / kFlowInFlight; ++i) {
+          for (int j = 0; j < kFlowInFlight; ++j) {
+            auto e = std::make_unique<Entry>();
+            const std::uint16_t sport = src.allocate_port();
+            const std::uint16_t dport = dst.allocate_port();
+            e->sink.emplace(dst, dport, 0);
+            e->sender.emplace(src, dst.address(), sport, dport, ++flow_id,
+                              tcp, transport::constant_dscp(0), 0, nullptr);
+            in_flight.push_back(std::move(e));
+          }
+          in_flight.clear();
+        }
+      },
+      min_secs);
+}
+
 // ------------------------------------------------------------- port path ----
 
 /// Discards every delivered packet (recycling it into the pool).
@@ -517,6 +611,8 @@ int main(int argc, char** argv) {
   results.push_back(bench_timer_chain(min_secs));
   results.push_back(bench_packet_pooled(min_secs));
   results.push_back(bench_packet_legacy(min_secs));
+  results.push_back(bench_flow_slab(min_secs));
+  results.push_back(bench_flow_heap(min_secs));
   results.push_back(
       bench_port_pipeline("port_pipeline_obs_off", false, min_secs));
   results.push_back(
@@ -587,6 +683,12 @@ int main(int argc, char** argv) {
   if (pk_new && pk_old && pk_old->ops_per_sec() > 0) {
     std::printf("packet path speedup (pooled vs legacy heap):          %.2fx\n",
                 pk_new->ops_per_sec() / pk_old->ops_per_sec());
+  }
+  const auto* fl_new = find("flow_slab_churn");
+  const auto* fl_old = find("legacy_flow_heap_churn");
+  if (fl_new && fl_old && fl_old->ops_per_sec() > 0) {
+    std::printf("flow path speedup (slab vs legacy heap):              %.2fx\n",
+                fl_new->ops_per_sec() / fl_old->ops_per_sec());
   }
   const auto* port_off = find("port_pipeline_obs_off");
   const auto* port_on = find("port_pipeline_obs_on");

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     slice.args.seed = cli.seed;
     slice.args.metrics_out = cli.metrics_out;
     slice.args.fault_grid = cli.fault_grid;
+    slice.args.traffic_grid = cli.traffic_grid;
     slice.first = jobs.size();
     const auto spec = bench::fct_sweep_spec(def.name, def.base, def.schemes,
                                             slice.args);
@@ -82,9 +83,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // A fault axis changes the grid layout the table printers assume
-  // (load-major then scheme); the structured JSON carries those cells.
-  if (cli.fault_grid.empty()) {
+  // A fault or traffic axis changes the grid layout the table printers
+  // assume (load-major then scheme); the structured JSON carries those
+  // cells.
+  if (cli.fault_grid.empty() && cli.traffic_grid.empty()) {
     for (const auto& slice : slices) {
       bench::print_fct_tables(slice.def.title, slice.def.schemes,
                               slice.args.loads, res.runs, slice.first,

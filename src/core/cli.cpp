@@ -6,6 +6,7 @@
 
 #include "fault/fault.hpp"
 #include "topo/network.hpp"
+#include "traffic/spec.hpp"
 
 namespace tcn::core {
 namespace {
@@ -109,6 +110,22 @@ traffic:
   --workload a,b,...          size distributions, cycled over services
                               (default websearch; leafspine default: all 4)
   --pias                      PIAS two-priority tagging (adds an SP queue)
+  --traffic SPEC              open-loop arrival engine instead of the fixed
+                              flow list: ';'-separated sources
+                                poisson:<name>:<workload>:<share>[:<dscp>]
+                                mmpp:<name>:<workload>:<share>[:<dscp>
+                                     [:<burst>[:<duty>[:<dwell_ms>]]]]
+                                diurnal:<period_s>:<min>:<peak>
+                                replay:<path>             (JSONL flow trace)
+                              each tenant has its own size CDF, load share
+                              and optional DSCP ("-" = scheme default);
+                              --load may exceed 1 (sustained overload trips
+                              the pending-event guard), --flows caps total
+                              tenant arrivals (0 = unlimited). Example:
+                                --traffic "poisson:web:websearch:0.7;mmpp:batch:datamining:0.3:-:4:0.25:10;diurnal:60:0.5:1.5"
+  --time-limit-s F            simulated-time horizon (default 600; a normal
+                              stop, not an error -- long open-loop runs at
+                              testbed rates need more than 600 s of sim time)
   --per-flow-connections      cold connection per flow (default for leafspine)
   --persistent-connections    warm connection pool (default for star)
 transport:
@@ -158,6 +175,9 @@ sweep execution (tool-level flags, handled by tcnsim itself):
   --fault-grid c1|c2|...      sweep a fault axis: each '|'-separated cell is
                               a complete --faults list ("none" = fault-free),
                               crossed with --loads/--seeds
+  --traffic-grid c1|c2|...    sweep a traffic axis: each '|'-separated cell
+                              is a complete --traffic list ("none" = the
+                              closed-loop baseline), innermost grid dimension
   --on-failure P              what a failed run does to the sweep:
                               cancel_all (default; skip the rest) |
                               record_and_continue | retry
@@ -181,6 +201,7 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
   bool is_leafspine = false;
   bool rtt_lambda_set = false, red_k_set = false, rto_set = false;
   bool services_set = false, workloads_set = false, conn_set = false;
+  sim::Time time_limit = 600 * sim::kSecond;
 
   cfg.sched.kind = SchedKind::kDwrr;
   cfg.load = 0.7;
@@ -260,6 +281,8 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
       rto_set = true;
     } else if (flag == "--faults") {
       cfg.faults = fault::parse_fault_specs(value());
+    } else if (flag == "--traffic") {
+      cfg.traffic = traffic::parse_traffic_spec(value());
     } else if (flag == "--check-invariants") {
       cfg.check_invariants = true;
     } else if (flag == "--fail-on-invariant") {
@@ -280,6 +303,12 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
       }
     } else if (flag == "--pending-budget") {
       cfg.pending_event_budget = to_u64(flag, value());
+    } else if (flag == "--time-limit-s") {
+      time_limit = static_cast<sim::Time>(to_double(flag, value()) *
+                                          sim::kSecond);
+      if (time_limit <= 0) {
+        throw std::invalid_argument("--time-limit-s: must be positive");
+      }
     } else if (flag == "--metrics-out") {
       cfg.metrics_out = value();
       if (cfg.metrics_out.empty()) {
@@ -339,7 +368,7 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
   cfg.params.tcn_tmax = 3 * cfg.params.rtt_lambda / 2;
   cfg.params.tcn_pmax = 1.0;
   cfg.params.seed = cfg.seed;
-  cfg.time_limit = 600 * sim::kSecond;
+  cfg.time_limit = time_limit;
   if (cfg.pias &&
       (cfg.sched.kind == SchedKind::kDwrr ||
        cfg.sched.kind == SchedKind::kWfq)) {
@@ -369,6 +398,25 @@ std::string format_report(const FctExperiment& cfg, const FctReport& r) {
       static_cast<unsigned long long>(r.switch_marks),
       static_cast<unsigned long long>(r.events), sim::to_seconds(r.sim_end));
   std::string out = buf;
+  if (r.traffic_open_loop) {
+    const double dur_s = sim::to_seconds(r.sim_end);
+    const double offered_gbps =
+        dur_s > 0 ? r.traffic_offered_bytes * 8.0 / dur_s / 1e9 : 0.0;
+    const double achieved_gbps =
+        dur_s > 0 ? r.traffic_achieved_bytes * 8.0 / dur_s / 1e9 : 0.0;
+    std::snprintf(
+        buf, sizeof buf,
+        "  open loop: %llu arrivals (%llu replayed)   peak active: %llu\n"
+        "  offered: %.3f Gbps   achieved: %.3f Gbps\n"
+        "  flow slab: %llu slots, %llu reuses, %llu recycles\n",
+        static_cast<unsigned long long>(r.traffic_arrivals),
+        static_cast<unsigned long long>(r.traffic_replayed),
+        static_cast<unsigned long long>(r.traffic_active_peak), offered_gbps,
+        achieved_gbps, static_cast<unsigned long long>(r.slab_fresh),
+        static_cast<unsigned long long>(r.slab_reused),
+        static_cast<unsigned long long>(r.slab_recycled));
+    out += buf;
+  }
   if (!cfg.faults.empty()) {
     std::snprintf(buf, sizeof buf,
                   "  faults: %zu spec(s)   fault drops: %llu (buffer drops "

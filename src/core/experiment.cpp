@@ -15,6 +15,8 @@
 #include "sim/simulator.hpp"
 #include "stats/tracer.hpp"
 #include "topo/network.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/flow_slab.hpp"
 #include "transport/connection_pool.hpp"
 #include "transport/flow.hpp"
 #include "workload/traffic_gen.hpp"
@@ -26,6 +28,13 @@ bool is_hybrid(SchedKind k) {
   return k == SchedKind::kSpDwrr || k == SchedKind::kSpWfq;
 }
 
+// Open-loop runs at load > 1 grow the active-flow population (and with it
+// the pending-event set, one armed retransmission timer per active sender)
+// without bound. When the user armed no pending budget of their own, this
+// default keeps overload a classified kOomGuard failure instead of an OOM.
+// Generous enough that any load <= 1 scenario never comes near it.
+constexpr std::size_t kOpenLoopDefaultPendingBudget = 2'000'000;
+
 }  // namespace
 
 FctReport run_fct_experiment(const FctExperiment& cfg) {
@@ -33,10 +42,18 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     throw std::invalid_argument("FctExperiment: services misconfigured");
   }
 
+  const bool open_loop = cfg.traffic.enabled();
+
   // Per-run packet uids: every experiment numbers its packets 1, 2, 3, ...
   // so traces are reproducible under the parallel sweep runner no matter
   // which worker thread or in what order this run executes.
   net::PacketUidScope uid_scope;
+
+  // Per-run flow uids, the flow-granularity sibling: the open-loop engine
+  // numbers its flows from here, so jobs=1 vs jobs=N sweeps with traffic
+  // cells in the grid stay byte-identical. Installed unconditionally (the
+  // closed-loop managers keep their own sequential ids and never draw).
+  traffic::FlowUidScope flow_uid_scope;
 
   // Per-run packet pool (sibling of the uid scope): every make_packet() in
   // this run draws from a private free list and recycles back into it, so
@@ -98,9 +115,11 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   // recorder also rides along whenever a budget is armed -- a budget kill
   // is exactly the moment a postmortem pays for itself -- and observers
   // never change simulation results, only what gets reported.
+  // Open-loop runs always have (at least) the default pending-event guard
+  // armed, so they get the same budget-kill postmortem treatment.
   const bool has_budget = cfg.wall_budget_ms > 0.0 || cfg.event_budget != 0 ||
                           cfg.sim_time_budget != 0 ||
-                          cfg.pending_event_budget != 0;
+                          cfg.pending_event_budget != 0 || open_loop;
   const bool record_flight =
       cfg.flight_recorder_depth > 0 && (cfg.check_invariants || has_budget);
   obs::FlightRecorder flight_recorder(cfg.flight_recorder_depth);
@@ -132,10 +151,17 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     }
   }
 
+  // Closed-loop runs keep the exact per-flow collector; open-loop runs
+  // stream (O(1) memory) so 10M+ completions don't grow the heap per flow.
   stats::FctCollector fct;
+  stats::StreamingFctCollector streaming_fct;
   std::size_t flows_completed = 0;
   const auto on_flow_done = [&](const transport::FlowResult& r) {
-    fct.add(r);
+    if (open_loop) {
+      streaming_fct.add(r);
+    } else {
+      fct.add(r);
+    }
     ++flows_completed;
   };
   transport::FlowManager fm(on_flow_done);
@@ -186,7 +212,25 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   std::unique_ptr<workload::ConvergeGenerator> converge;
   std::unique_ptr<workload::AllToAllGenerator> all2all;
 
-  if (cfg.topology == FctExperiment::Topology::kStarConverge) {
+  // Open-loop state. The slab is declared after the simulator and network:
+  // destruction is reverse order, so live slots tear down (cancelling
+  // timers, unbinding ports, recycling packets) while both are still alive.
+  std::optional<traffic::FlowSlab> flow_slab;
+  std::optional<traffic::FlowSlab::Scope> flow_slab_scope;
+  std::unique_ptr<traffic::TrafficEngine> engine;
+
+  if (open_loop) {
+    flow_slab.emplace();
+    flow_slab_scope.emplace(*flow_slab);
+    traffic::EngineConfig ecfg;
+    ecfg.load = cfg.load;
+    ecfg.max_flows = cfg.num_flows;
+    ecfg.seed = cfg.seed;
+    ecfg.converge = cfg.topology == FctExperiment::Topology::kStarConverge;
+    engine = std::make_unique<traffic::TrafficEngine>(
+        sim, network.host_ptrs(), cfg.traffic, ecfg, spec_fn, on_flow_done);
+    engine->start();
+  } else if (cfg.topology == FctExperiment::Topology::kStarConverge) {
     // Host 0 is the client (receiver); all others serve data to it, and the
     // generator picks the flow's service uniformly (Sec. 6.1.2). The size
     // distribution is the first configured workload (testbed experiments use
@@ -222,6 +266,11 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   budget.max_events = cfg.event_budget;
   budget.max_sim_time = cfg.sim_time_budget;
   budget.max_pending = cfg.pending_event_budget;
+  // Overload guard: open loop with no explicit pending budget still gets
+  // one, so load > 1 dies as a classified kOomGuard failure, not an OOM.
+  if (open_loop && budget.max_pending == 0) {
+    budget.max_pending = kOpenLoopDefaultPendingBudget;
+  }
   if (budget.any()) sim.set_budget(budget);
 
   const auto postmortem = [&]() -> std::string {
@@ -239,10 +288,23 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   }
 
   FctReport report;
-  report.summary = fct.summary();
-  report.flows_started = cfg.persistent_connections ? pool.messages_submitted()
-                                                    : fm.flows_started();
+  report.summary = open_loop ? streaming_fct.summary() : fct.summary();
+  report.flows_started =
+      open_loop ? engine->arrivals()
+                : (cfg.persistent_connections ? pool.messages_submitted()
+                                              : fm.flows_started());
   report.flows_completed = flows_completed;
+  if (open_loop) {
+    report.traffic_open_loop = true;
+    report.traffic_arrivals = engine->arrivals();
+    report.traffic_replayed = engine->replayed();
+    report.traffic_active_peak = engine->active_peak();
+    report.traffic_offered_bytes = engine->offered_bytes();
+    report.traffic_achieved_bytes = engine->achieved_bytes();
+    report.slab_fresh = flow_slab->fresh_allocs();
+    report.slab_reused = flow_slab->reuses();
+    report.slab_recycled = flow_slab->recycles();
+  }
   report.events = sim.events_executed();
   report.sim_end = sim.now();
   // Pool telemetry: fresh/reused/recycled are deterministic for a given

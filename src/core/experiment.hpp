@@ -14,6 +14,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "stats/fct.hpp"
+#include "traffic/spec.hpp"
 #include "transport/tcp.hpp"
 #include "workload/distributions.hpp"
 
@@ -93,6 +94,18 @@ struct FctExperiment {
   /// fault::parse_fault_specs for the --faults grammar.
   fault::FaultPlan faults;
 
+  /// Open-loop traffic scenario (see traffic::parse_traffic_spec for the
+  /// --traffic grammar). When enabled() the closed-loop generators are
+  /// replaced by traffic::TrafficEngine: arrivals come from the spec's
+  /// tenants/trace on their own clock, per-flow transport state recycles
+  /// through a per-run traffic::FlowSlab, FCT statistics stream through the
+  /// O(1)-memory collector, `load` may exceed 1 (sustained overload), and
+  /// `num_flows` caps total tenant arrivals (0 = unlimited -- then a
+  /// time_limit or budget must stop the run). A default pending-event
+  /// budget is installed when none is configured, so overload terminates as
+  /// a classified kOomGuard failure instead of unbounded growth.
+  traffic::TrafficSpec traffic;
+
   /// Attach a net::InvariantChecker to every port (switch egresses and host
   /// NICs) and report the outcome. Violations are collected, not thrown, so
   /// a broken run still yields a report to debug from. A flight recorder of
@@ -156,6 +169,21 @@ struct FctReport {
   std::uint64_t pool_fresh = 0;
   std::uint64_t pool_reused = 0;
   std::uint64_t pool_recycled = 0;
+
+  // Populated when the run was open loop (cfg.traffic.enabled()). Arrivals
+  // counts tenant arrivals + replayed flows; active_peak bounds the slab's
+  // working set; offered vs. achieved bytes quantify the load the network
+  // absorbed vs. what the engine injected; slab counters mirror the packet
+  // pool's fresh/reuse/recycle discipline at flow granularity.
+  bool traffic_open_loop = false;
+  std::uint64_t traffic_arrivals = 0;
+  std::uint64_t traffic_replayed = 0;
+  std::uint64_t traffic_active_peak = 0;
+  std::uint64_t traffic_offered_bytes = 0;
+  std::uint64_t traffic_achieved_bytes = 0;
+  std::uint64_t slab_fresh = 0;
+  std::uint64_t slab_reused = 0;
+  std::uint64_t slab_recycled = 0;
 
   // Populated when check_invariants was set.
   bool invariants_checked = false;

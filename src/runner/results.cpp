@@ -29,6 +29,11 @@ void write_run_object(JsonWriter& w, const RunRecord& r, bool include_timing) {
   w.key("flows").value(cfg.num_flows);
   w.key("seed").value(cfg.seed);
   w.key("faults").value(r.job.fault_label);
+  // Only present when the sweep has a traffic axis or the run was open
+  // loop, so closed-loop documents (and the schema golden) are unchanged.
+  if (!r.job.traffic_label.empty() || r.report.traffic_open_loop) {
+    w.key("traffic").value(r.job.traffic_label);
+  }
   w.key("ok").value(r.ok);
   w.key("skipped").value(r.skipped);
   w.key("error").value(r.error);
@@ -56,6 +61,21 @@ void write_run_object(JsonWriter& w, const RunRecord& r, bool include_timing) {
   w.key("pool_reused").value(r.report.pool_reused);
   w.key("pool_recycled").value(r.report.pool_recycled);
   w.end_object();
+
+  // Open-loop engine telemetry; absent on closed-loop runs (same conditional
+  // discipline as "metrics" below).
+  if (r.report.traffic_open_loop) {
+    w.key("traffic_counters").begin_object();
+    w.key("arrivals").value(r.report.traffic_arrivals);
+    w.key("replayed").value(r.report.traffic_replayed);
+    w.key("active_peak").value(r.report.traffic_active_peak);
+    w.key("offered_bytes").value(r.report.traffic_offered_bytes);
+    w.key("achieved_bytes").value(r.report.traffic_achieved_bytes);
+    w.key("slab_fresh").value(r.report.slab_fresh);
+    w.key("slab_reused").value(r.report.slab_reused);
+    w.key("slab_recycled").value(r.report.slab_recycled);
+    w.end_object();
+  }
 
   w.key("flows_started").value(r.report.flows_started);
   w.key("flows_completed").value(r.report.flows_completed);

@@ -138,27 +138,37 @@ std::vector<Job> SweepSpec::expand() const {
           ? std::vector<std::pair<std::string, fault::FaultPlan>>{
                 {std::string(), base.faults}}
           : faults;
+  const std::vector<std::pair<std::string, traffic::TrafficSpec>>
+      traffic_list =
+          traffics.empty()
+              ? std::vector<std::pair<std::string, traffic::TrafficSpec>>{
+                    {std::string(), base.traffic}}
+              : traffics;
 
   std::vector<Job> jobs;
   jobs.reserve(loads.size() * schemes.size() * seed_list.size() *
-               flow_list.size() * fault_list.size());
+               flow_list.size() * fault_list.size() * traffic_list.size());
   for (const double load : loads) {
     for (const auto& [label, scheme] : schemes) {
       for (const std::uint64_t seed : seed_list) {
         for (const std::size_t nflows : flow_list) {
           for (const auto& [fault_label, plan] : fault_list) {
-            Job j;
-            j.index = jobs.size();
-            j.group = name;
-            j.label = label;
-            j.fault_label = fault_label;
-            j.cfg = base;
-            j.cfg.scheme = scheme;
-            j.cfg.load = load;
-            j.cfg.seed = seed;
-            j.cfg.num_flows = nflows;
-            j.cfg.faults = plan;
-            jobs.push_back(std::move(j));
+            for (const auto& [traffic_label, traffic_spec] : traffic_list) {
+              Job j;
+              j.index = jobs.size();
+              j.group = name;
+              j.label = label;
+              j.fault_label = fault_label;
+              j.traffic_label = traffic_label;
+              j.cfg = base;
+              j.cfg.scheme = scheme;
+              j.cfg.load = load;
+              j.cfg.seed = seed;
+              j.cfg.num_flows = nflows;
+              j.cfg.faults = plan;
+              j.cfg.traffic = traffic_spec;
+              jobs.push_back(std::move(j));
+            }
           }
         }
       }

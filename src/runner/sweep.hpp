@@ -1,4 +1,5 @@
-// Sweep orchestration: expand a scheme x load x seed x flows x faults grid
+// Sweep orchestration: expand a scheme x load x seed x flows x faults x
+// traffic grid
 // into independent jobs, execute them on a fixed-size worker pool (each job
 // gets a fully isolated sim::Simulator/topology built inside
 // core::run_fct_experiment), and aggregate results **by job index**.
@@ -71,6 +72,9 @@ struct Job {
   /// Fault-axis cell label (the --fault-grid spec string, "none" for the
   /// fault-free cell); empty when the sweep has no fault axis.
   std::string fault_label;
+  /// Traffic-axis cell label (the --traffic-grid spec string, "none" for
+  /// the closed-loop cell); empty when the sweep has no traffic axis.
+  std::string traffic_label;
   core::FctExperiment cfg;
 };
 
@@ -184,9 +188,10 @@ struct SweepResult {
 SweepResult run_jobs(std::vector<Job> jobs, const SweepOptions& opt = {});
 
 /// A declarative grid. Expansion order is loads-major, then schemes, then
-/// seeds, then flows, then fault cells -- so with a single seed, flow count
-/// and fault plan, job index `li * schemes.size() + si` is (load li,
-/// scheme si), which is what the figure table printers rely on.
+/// seeds, then flows, then fault cells, then traffic cells -- so with a
+/// single seed, flow count, fault plan and traffic cell, job index
+/// `li * schemes.size() + si` is (load li, scheme si), which is what the
+/// figure table printers rely on.
 struct SweepSpec {
   std::string name;  ///< used for Job::group and the JSON "name" field
   core::FctExperiment base;
@@ -197,6 +202,10 @@ struct SweepSpec {
   /// Fault axis: (label, plan) cells, e.g. from fault::parse_fault_grid.
   /// Empty -> one unlabelled cell running base.faults.
   std::vector<std::pair<std::string, fault::FaultPlan>> faults;
+  /// Traffic axis (innermost, inside faults): (label, spec) cells, e.g.
+  /// from traffic::parse_traffic_grid; the "none" cell is the closed-loop
+  /// baseline. Empty -> one unlabelled cell running base.traffic.
+  std::vector<std::pair<std::string, traffic::TrafficSpec>> traffics;
 
   [[nodiscard]] std::vector<Job> expand() const;
 };

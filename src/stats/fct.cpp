@@ -32,4 +32,39 @@ FctSummary FctCollector::summary() const {
   return s;
 }
 
+void StreamingFctCollector::add(const transport::FlowResult& r) {
+  const double us = static_cast<double>(r.fct) / sim::kMicrosecond;
+  ++count_;
+  sum_all_us_ += us;
+  timeouts_ += r.timeouts;
+  if (r.size <= kSmallFlowMax) {
+    ++small_count_;
+    sum_small_us_ += us;
+    small_timeouts_ += r.timeouts;
+    small_ns_.record(r.fct);
+  } else if (r.size > kLargeFlowMin) {
+    ++large_count_;
+    sum_large_us_ += us;
+  }
+}
+
+FctSummary StreamingFctCollector::summary() const {
+  FctSummary s;
+  s.count = count_;
+  s.timeouts = timeouts_;
+  s.small_timeouts = small_timeouts_;
+  if (count_ > 0) s.avg_all_us = sum_all_us_ / static_cast<double>(count_);
+  s.small_count = small_count_;
+  if (small_count_ > 0) {
+    s.avg_small_us = sum_small_us_ / static_cast<double>(small_count_);
+    s.p99_small_us = static_cast<double>(small_ns_.percentile(99.0)) /
+                     sim::kMicrosecond;
+  }
+  s.large_count = large_count_;
+  if (large_count_ > 0) {
+    s.avg_large_us = sum_large_us_ / static_cast<double>(large_count_);
+  }
+  return s;
+}
+
 }  // namespace tcn::stats

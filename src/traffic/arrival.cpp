@@ -1,0 +1,100 @@
+#include "traffic/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcn::traffic {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double per_ns(double flows_per_sec) {
+  return flows_per_sec / static_cast<double>(sim::kSecond);
+}
+
+/// Exponential gap in ns at `rate_per_ns`, clamped to >= 1 ns so successive
+/// arrivals always advance the integer clock.
+sim::Time exp_gap(double rate_per_ns, sim::Rng& rng) {
+  const double gap = rng.exponential(1.0 / rate_per_ns);
+  return std::max<sim::Time>(1, static_cast<sim::Time>(std::llround(gap)));
+}
+
+}  // namespace
+
+double DiurnalSchedule::factor(sim::Time t) const noexcept {
+  if (!enabled()) return 1.0;
+  const double frac =
+      static_cast<double>(t % period) / static_cast<double>(period);
+  // Raised cosine: min at frac = 0, peak at frac = 0.5.
+  const double blend = 0.5 * (1.0 - std::cos(2.0 * kPi * frac));
+  return min_factor + (peak_factor - min_factor) * blend;
+}
+
+PoissonArrivals::PoissonArrivals(double flows_per_sec)
+    : rate_per_ns_(per_ns(flows_per_sec)) {
+  if (!(flows_per_sec > 0)) {
+    throw std::invalid_argument("PoissonArrivals: rate must be > 0");
+  }
+}
+
+double PoissonArrivals::flows_per_sec() const noexcept {
+  return rate_per_ns_ * static_cast<double>(sim::kSecond);
+}
+
+sim::Time PoissonArrivals::next(sim::Time now, double scale, sim::Rng& rng) {
+  return now + exp_gap(rate_per_ns_ * scale, rng);
+}
+
+MmppArrivals::MmppArrivals(const Params& p) {
+  if (!(p.flows_per_sec > 0)) {
+    throw std::invalid_argument("MmppArrivals: rate must be > 0");
+  }
+  if (p.burst_ratio < 1 || p.duty <= 0 || p.duty >= 1 ||
+      p.burst_ratio * p.duty > 1 || p.dwell_burst_s <= 0) {
+    throw std::invalid_argument("MmppArrivals: bad burst parameters");
+  }
+  const double avg = per_ns(p.flows_per_sec);
+  rate_burst_per_ns_ = avg * p.burst_ratio;
+  rate_idle_per_ns_ = avg * (1.0 - p.burst_ratio * p.duty) / (1.0 - p.duty);
+  dwell_burst_ns_ = p.dwell_burst_s * static_cast<double>(sim::kSecond);
+  dwell_idle_ns_ = dwell_burst_ns_ * (1.0 - p.duty) / p.duty;
+}
+
+sim::Time MmppArrivals::next(sim::Time now, double scale, sim::Rng& rng) {
+  if (!started_) {
+    // Start in the idle state with a fresh dwell; the first draw below may
+    // immediately cross into a burst, so short warmups still burst.
+    started_ = true;
+    burst_ = false;
+    state_until_ =
+        now + std::max<sim::Time>(
+                  1, static_cast<sim::Time>(rng.exponential(dwell_idle_ns_)));
+  }
+  sim::Time t = now;
+  for (;;) {
+    if (t >= state_until_) {
+      burst_ = !burst_;
+      ++transitions_;
+      const double dwell = burst_ ? dwell_burst_ns_ : dwell_idle_ns_;
+      state_until_ =
+          t + std::max<sim::Time>(
+                  1, static_cast<sim::Time>(rng.exponential(dwell)));
+      continue;
+    }
+    const double rate =
+        (burst_ ? rate_burst_per_ns_ : rate_idle_per_ns_) * scale;
+    if (rate <= 0) {
+      // Degenerate idle state (burst_ratio * duty == 1): all arrivals
+      // happen inside bursts; skip to the next transition.
+      t = state_until_;
+      continue;
+    }
+    const sim::Time gap = exp_gap(rate, rng);
+    if (t + gap <= state_until_) return std::max(t + gap, now + 1);
+    // Gap crosses the state boundary: restart from it (memoryless).
+    t = state_until_;
+  }
+}
+
+}  // namespace tcn::traffic

@@ -1,0 +1,87 @@
+// Arrival-process primitives for the open-loop traffic engine.
+//
+// Each sampler answers one question -- "given now, when does the next flow
+// arrive?" -- against a caller-owned Rng, so the engine keeps one Rng per
+// tenant and jobs=1 vs jobs=N sweeps see identical draws. The diurnal
+// schedule is a pure function of sim time; the engine samples it at each
+// arrival and passes it down as a rate scale, which makes the non-stationary
+// process a standard piecewise-retargeted inhomogeneous-Poisson
+// approximation (exact in the limit of arrivals per period -> infinity).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::traffic {
+
+/// Raised-cosine periodic load factor: min_factor at t = 0 (mod period),
+/// peak_factor half a period later, smooth in between.
+struct DiurnalSchedule {
+  sim::Time period = 0;  ///< 0 = disabled (factor() == 1)
+  double min_factor = 1.0;
+  double peak_factor = 1.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return period > 0; }
+  [[nodiscard]] double factor(sim::Time t) const noexcept;
+};
+
+/// Homogeneous Poisson arrivals at `flows_per_sec * scale`.
+class PoissonArrivals {
+ public:
+  explicit PoissonArrivals(double flows_per_sec);
+
+  /// Absolute time of the next arrival, strictly after `now`.
+  sim::Time next(sim::Time now, double scale, sim::Rng& rng);
+
+  [[nodiscard]] double flows_per_sec() const noexcept;
+
+ private:
+  double rate_per_ns_;
+};
+
+/// Markov-modulated Poisson process: a two-state (burst/idle) continuous-time
+/// Markov chain with exponential dwell times; arrivals are Poisson at the
+/// current state's rate. Parameterized so the long-run average rate equals
+/// `flows_per_sec` regardless of burstiness:
+///   rate_burst = avg * burst_ratio
+///   rate_idle  = avg * (1 - burst_ratio * duty) / (1 - duty)
+///   dwell_idle = dwell_burst * (1 - duty) / duty
+/// Sampling uses the memoryless-restart construction: draw an exponential
+/// gap at the current rate; if it crosses the state boundary, advance to the
+/// boundary, flip state and redraw (valid because the exponential is
+/// memoryless). Fully deterministic for a given Rng sequence.
+class MmppArrivals {
+ public:
+  struct Params {
+    double flows_per_sec = 1.0;  ///< long-run average arrival rate
+    double burst_ratio = 4.0;    ///< burst-state multiplier, >= 1
+    double duty = 0.25;          ///< long-run fraction of time in burst
+    double dwell_burst_s = 0.01; ///< mean burst dwell time, seconds
+  };
+
+  explicit MmppArrivals(const Params& p);
+
+  /// Absolute time of the next arrival, strictly after `now`. `scale`
+  /// multiplies both state rates (diurnal modulation).
+  sim::Time next(sim::Time now, double scale, sim::Rng& rng);
+
+  [[nodiscard]] bool in_burst() const noexcept { return burst_; }
+  [[nodiscard]] std::uint64_t transitions() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  double rate_burst_per_ns_;
+  double rate_idle_per_ns_;
+  double dwell_burst_ns_;
+  double dwell_idle_ns_;
+
+  bool started_ = false;
+  bool burst_ = false;
+  sim::Time state_until_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace tcn::traffic

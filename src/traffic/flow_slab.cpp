@@ -1,0 +1,77 @@
+#include "traffic/flow_slab.hpp"
+
+namespace tcn::traffic {
+
+namespace {
+// File-scope TLS (packet.cpp idiom): every access is in this TU, so no
+// cross-TU thread_local wrapper is ever emitted.
+thread_local FlowUidScope* tls_uid_scope = nullptr;
+thread_local FlowSlab* tls_slab = nullptr;
+}  // namespace
+
+FlowUidScope::FlowUidScope() noexcept : prev_(tls_uid_scope) {
+  tls_uid_scope = this;
+}
+
+FlowUidScope::~FlowUidScope() { tls_uid_scope = prev_; }
+
+FlowUidScope* FlowUidScope::current() noexcept { return tls_uid_scope; }
+
+FlowSlab::Scope::Scope(FlowSlab& slab) noexcept : prev_(tls_slab) {
+  tls_slab = &slab;
+}
+
+FlowSlab::Scope::~Scope() { tls_slab = prev_; }
+
+FlowSlab* FlowSlab::current() noexcept { return tls_slab; }
+
+std::uint32_t FlowSlab::acquire() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    ++reused_;
+    slots_[index].slab_free = false;
+    return index;
+  }
+  ++fresh_;
+  slots_.emplace_back();
+  slots_.back().slab_free = false;
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void FlowSlab::recycle(std::uint32_t index) {
+  Slot& s = slots_[index];
+  if (s.slab_free) {
+    ++double_recycled_;
+    return;
+  }
+  // Destroy transport state first: the sender cancels its retransmission
+  // timer and both endpoints unbind their ports, so the ports are reusable
+  // the moment they enter the free lists below.
+  s.sender.reset();
+  s.sink.reset();
+  ports_[s.src_addr].push_back(s.sport);
+  ports_[s.dst_addr].push_back(s.dport);
+  s.flow_id = 0;
+  s.size = 0;
+  s.service = 0;
+  s.src_addr = 0;
+  s.dst_addr = 0;
+  s.sport = 0;
+  s.dport = 0;
+  s.slab_free = true;
+  ++recycled_;
+  free_.push_back(index);
+}
+
+std::uint16_t FlowSlab::checkout_port(net::Host& host) {
+  auto it = ports_.find(host.address());
+  if (it != ports_.end() && !it->second.empty()) {
+    const std::uint16_t port = it->second.back();
+    it->second.pop_back();
+    return port;
+  }
+  return host.allocate_port();
+}
+
+}  // namespace tcn::traffic

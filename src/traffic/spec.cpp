@@ -1,0 +1,168 @@
+#include "traffic/spec.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace tcn::traffic {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void bad(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("--traffic clause '" + clause + "': " + why);
+}
+
+double to_double(const std::string& clause, const std::string& field) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(field, &used);
+    if (used != field.size()) throw std::invalid_argument(field);
+    return v;
+  } catch (const std::exception&) {
+    bad(clause, "bad number '" + field + "'");
+  }
+}
+
+workload::Kind to_workload(const std::string& clause,
+                           const std::string& field) {
+  // Accept both the canonical hyphenated name ("web-search") and the
+  // compact flag-friendly form ("websearch").
+  const auto dehyphenate = [](std::string s) {
+    std::string out;
+    for (char c : s) {
+      if (c != '-') out += c;
+    }
+    return out;
+  };
+  for (workload::Kind k : workload::all_kinds()) {
+    const std::string canon = workload::name(k);
+    if (canon == field || dehyphenate(canon) == field) return k;
+  }
+  bad(clause, "unknown workload '" + field +
+                  "' (want web-search|data-mining|hadoop|cache)");
+}
+
+int to_dscp(const std::string& clause, const std::string& field) {
+  if (field == "-") return -1;
+  const double v = to_double(clause, field);
+  const int dscp = static_cast<int>(v);
+  if (v != dscp || dscp < 0 || dscp > 63) {
+    bad(clause, "dscp must be '-' or an integer in [0, 63]");
+  }
+  return dscp;
+}
+
+// poisson:<name>:<workload>:<share>[:<dscp>]
+// mmpp:<name>:<workload>:<share>[:<dscp>[:<burst>[:<duty>[:<dwell_ms>]]]]
+TenantSpec parse_tenant(const std::string& clause,
+                        const std::vector<std::string>& f, bool mmpp) {
+  const std::size_t max_fields = mmpp ? 8 : 5;
+  if (f.size() < 4 || f.size() > max_fields) {
+    bad(clause, mmpp ? "want mmpp:<name>:<workload>:<share>"
+                       "[:<dscp>[:<burst>[:<duty>[:<dwell_ms>]]]]"
+                     : "want poisson:<name>:<workload>:<share>[:<dscp>]");
+  }
+  TenantSpec t;
+  t.arrival = mmpp ? TenantSpec::Arrival::kMmpp : TenantSpec::Arrival::kPoisson;
+  t.name = f[1];
+  if (t.name.empty()) bad(clause, "tenant name must be non-empty");
+  t.workload = to_workload(clause, f[2]);
+  t.share = to_double(clause, f[3]);
+  if (t.share <= 0) bad(clause, "share must be > 0");
+  if (f.size() > 4) t.dscp = to_dscp(clause, f[4]);
+  if (mmpp) {
+    if (f.size() > 5) t.burst_ratio = to_double(clause, f[5]);
+    if (f.size() > 6) t.duty = to_double(clause, f[6]);
+    if (f.size() > 7) t.dwell_ms = to_double(clause, f[7]);
+    if (t.burst_ratio < 1) bad(clause, "burst ratio must be >= 1");
+    if (t.duty <= 0 || t.duty >= 1) bad(clause, "duty must be in (0, 1)");
+    if (t.burst_ratio * t.duty > 1) {
+      bad(clause,
+          "burst_ratio * duty must be <= 1 (the idle-state rate "
+          "rate*(1-burst*duty)/(1-duty) would go negative)");
+    }
+    if (t.dwell_ms <= 0) bad(clause, "dwell_ms must be > 0");
+  }
+  return t;
+}
+
+DiurnalSpec parse_diurnal(const std::string& clause,
+                          const std::vector<std::string>& f) {
+  if (f.size() != 4) {
+    bad(clause, "want diurnal:<period_s>:<min_factor>:<peak_factor>");
+  }
+  DiurnalSpec d;
+  d.period_s = to_double(clause, f[1]);
+  d.min_factor = to_double(clause, f[2]);
+  d.peak_factor = to_double(clause, f[3]);
+  if (d.period_s <= 0) bad(clause, "period_s must be > 0");
+  if (d.min_factor <= 0) bad(clause, "min_factor must be > 0");
+  if (d.peak_factor < d.min_factor) {
+    bad(clause, "peak_factor must be >= min_factor");
+  }
+  return d;
+}
+
+}  // namespace
+
+TrafficSpec parse_traffic_spec(const std::string& spec) {
+  if (spec.empty()) {
+    throw std::invalid_argument("--traffic: empty spec (use --traffic-grid "
+                                "cell 'none' for the closed-loop baseline)");
+  }
+  TrafficSpec out;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;  // tolerate trailing ';'
+    const auto f = split(clause, ':');
+    const std::string& kind = f[0];
+    if (kind == "poisson" || kind == "mmpp") {
+      out.tenants.push_back(parse_tenant(clause, f, kind == "mmpp"));
+    } else if (kind == "diurnal") {
+      if (out.diurnal.enabled()) bad(clause, "at most one diurnal clause");
+      out.diurnal = parse_diurnal(clause, f);
+    } else if (kind == "replay") {
+      if (!out.replay_path.empty()) bad(clause, "at most one replay clause");
+      // Everything after "replay:" is the path verbatim (paths may contain
+      // ':' on exotic filesystems, and need no further field splitting).
+      if (clause.size() <= 7) bad(clause, "want replay:<path>");
+      out.replay_path = clause.substr(7);
+    } else {
+      bad(clause, "unknown source kind '" + kind +
+                      "' (want poisson|mmpp|diurnal|replay)");
+    }
+  }
+  if (!out.enabled()) {
+    throw std::invalid_argument(
+        "--traffic '" + spec + "': no flow source (diurnal alone schedules "
+        "nothing; add a poisson/mmpp tenant or a replay clause)");
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, TrafficSpec>> parse_traffic_grid(
+    const std::string& grid) {
+  if (grid.empty()) {
+    throw std::invalid_argument("--traffic-grid: empty grid");
+  }
+  std::vector<std::pair<std::string, TrafficSpec>> cells;
+  for (const std::string& cell : split(grid, '|')) {
+    if (cell.empty() || cell == "none") {
+      cells.emplace_back("none", TrafficSpec{});
+    } else {
+      cells.emplace_back(cell, parse_traffic_spec(cell));
+    }
+  }
+  return cells;
+}
+
+}  // namespace tcn::traffic

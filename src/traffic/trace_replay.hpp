@@ -1,0 +1,34 @@
+// JSONL flow-trace loading for the trace-replay traffic source.
+//
+// Trace format (one JSON object per line, parsed with obs::JsonValue):
+//   {"t_s": 0.001, "src": 3, "dst": 0, "size": 20480}
+// with optional "service" (u32, default 0) and "dscp" (0..63, default -1 =
+// scheme default). src/dst are host indices into the built topology;
+// validation against the actual host count happens in the engine, which
+// knows the topology. Lines are sorted by arrival time (stable, so equal
+// timestamps keep file order) and replayed verbatim regardless of --load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tcn::traffic {
+
+struct ReplayFlow {
+  sim::Time at = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t size = 0;
+  std::uint32_t service = 0;
+  int dscp = -1;
+};
+
+/// Load and sort a JSONL flow trace. Throws std::runtime_error when the file
+/// is unreadable and std::invalid_argument (with the line number) on a
+/// malformed record. Blank lines are tolerated.
+std::vector<ReplayFlow> load_trace(const std::string& path);
+
+}  // namespace tcn::traffic

@@ -113,7 +113,8 @@ TEST(Cli, UsageMentionsEveryFlag) {
         "--trace-out", "--check-invariants", "--faults", "--fault-grid",
         "--fail-on-invariant", "--wall-budget-ms", "--event-budget",
         "--sim-time-budget-s", "--pending-budget", "--on-failure",
-        "--retries", "--journal", "--resume"}) {
+        "--retries", "--journal", "--resume", "--traffic",
+        "--traffic-grid", "--time-limit-s"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }
@@ -131,6 +132,11 @@ TEST(Cli, BudgetFlags) {
   EXPECT_EQ(off.event_budget, 0u);
   EXPECT_EQ(off.sim_time_budget, sim::Time{0});
   EXPECT_EQ(off.pending_event_budget, 0u);
+  EXPECT_EQ(off.time_limit, 600 * sim::kSecond);
+  // The horizon (a normal stop) is adjustable for long open-loop runs.
+  EXPECT_EQ(parse({"--time-limit-s", "30000"}).time_limit,
+            30'000 * sim::kSecond);
+  EXPECT_THROW(parse({"--time-limit-s", "0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--wall-budget-ms", "0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--wall-budget-ms", "-1"}), std::invalid_argument);
   EXPECT_THROW(parse({"--sim-time-budget-s", "0"}), std::invalid_argument);
@@ -182,6 +188,35 @@ TEST(Cli, UnwritableTracePathFailsBeforeRunning) {
     EXPECT_NE(std::string(e.what()).find("/nonexistent-dir-tcn/trace.jsonl"),
               std::string::npos);
   }
+}
+
+TEST(Cli, TrafficFlagPopulatesOpenLoopSpec) {
+  const auto cfg = parse(
+      {"--traffic",
+       "poisson:web:websearch:0.7:3;mmpp:batch:cache:0.3;diurnal:60:0.5:1.5"});
+  ASSERT_TRUE(cfg.traffic.enabled());
+  ASSERT_EQ(cfg.traffic.tenants.size(), 2u);
+  EXPECT_EQ(cfg.traffic.tenants[0].name, "web");
+  EXPECT_EQ(cfg.traffic.tenants[0].dscp, 3);
+  EXPECT_EQ(cfg.traffic.tenants[1].arrival,
+            traffic::TenantSpec::Arrival::kMmpp);
+  EXPECT_TRUE(cfg.traffic.diurnal.enabled());
+  // Default is closed loop.
+  EXPECT_FALSE(parse({}).traffic.enabled());
+  EXPECT_THROW(parse({"--traffic", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"--traffic", "bogus:x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--traffic"}), std::invalid_argument);
+}
+
+TEST(Cli, OpenLoopConfigActuallyRuns) {
+  auto cfg = parse({"--flows", "100", "--load", "0.4", "--traffic",
+                    "poisson:web:cache:1"});
+  const auto report = run_fct_experiment(cfg);
+  EXPECT_TRUE(report.traffic_open_loop);
+  EXPECT_EQ(report.flows_completed, 100u);
+  const auto text = format_report(cfg, report);
+  EXPECT_NE(text.find("open loop"), std::string::npos);
+  EXPECT_NE(text.find("flow slab"), std::string::npos);
 }
 
 TEST(Cli, ParsedConfigActuallyRuns) {

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 
 #include "net/fifo_scheduler.hpp"
 
@@ -25,6 +26,43 @@ TEST(Distributions, AllFourExistAndAreNamed) {
     EXPECT_EQ(d.name(), name(k));
     EXPECT_DOUBLE_EQ(d.points().back().cdf, 1.0);
   }
+}
+
+TEST(Distributions, InverseCdfBoundaries) {
+  // Satellite: quantile() at the exact boundaries of its domain, for every
+  // workload CDF -- p=0 and p=1 map to the first/last point, out-of-range
+  // p throws, and samples stay inside [first, last].
+  for (const auto k : all_kinds()) {
+    const auto& d = distribution(k);
+    EXPECT_EQ(d.quantile(0.0), d.points().front().value) << name(k);
+    EXPECT_EQ(d.quantile(1.0), d.points().back().value) << name(k);
+    EXPECT_THROW((void)d.quantile(-0.001), std::invalid_argument);
+    EXPECT_THROW((void)d.quantile(1.001), std::invalid_argument);
+    sim::Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+      const double s = d.sample(rng);
+      EXPECT_GE(s, d.points().front().value);
+      EXPECT_LE(s, d.points().back().value);
+    }
+  }
+}
+
+TEST(Distributions, SinglePointCdfIsDegenerate) {
+  // A one-point CDF (all mass at one value) must be valid and constant
+  // across the whole quantile domain.
+  const sim::Ecdf point({{42.0, 1.0}}, "point");
+  EXPECT_EQ(point.quantile(0.0), 42.0);
+  EXPECT_EQ(point.quantile(0.5), 42.0);
+  EXPECT_EQ(point.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(point.mean(), 42.0);
+  sim::Rng rng(1);
+  EXPECT_EQ(point.sample(rng), 42.0);
+  // Flat (zero-mass) prefix segments resolve to a point, not an
+  // interpolation across the gap.
+  const sim::Ecdf flat({{10.0, 0.5}, {20.0, 0.5}, {30.0, 1.0}}, "flat");
+  EXPECT_EQ(flat.quantile(0.5), 10.0);  // first point with cdf >= p
+  EXPECT_EQ(flat.quantile(0.0), 10.0);
+  EXPECT_EQ(flat.quantile(1.0), 30.0);
 }
 
 TEST(Distributions, AllAreHeavyTailed) {

@@ -21,6 +21,7 @@
 #include "runner/journal.hpp"
 #include "runner/results.hpp"
 #include "runner/sweep.hpp"
+#include "traffic/spec.hpp"
 
 namespace {
 
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
     std::vector<double> loads;
     std::vector<std::uint64_t> seeds;
     std::vector<std::pair<std::string, tcn::fault::FaultPlan>> fault_grid;
+    std::vector<std::pair<std::string, tcn::traffic::TrafficSpec>>
+        traffic_grid;
     tcn::runner::SweepOptions opt;
     std::string resume_path;
     bool on_failure_set = false;
@@ -96,6 +99,8 @@ int main(int argc, char** argv) {
         if (seeds.empty()) throw std::invalid_argument("--seeds: empty list");
       } else if (flag == "--fault-grid") {
         fault_grid = tcn::fault::parse_fault_grid(value());
+      } else if (flag == "--traffic-grid") {
+        traffic_grid = tcn::traffic::parse_traffic_grid(value());
       } else if (flag == "--on-failure") {
         opt.failure_policy = tcn::runner::failure_policy_from_name(value());
         on_failure_set = true;
@@ -126,7 +131,8 @@ int main(int argc, char** argv) {
 
     const bool single = loads.size() <= 1 && seeds.size() <= 1 &&
                         json_path.empty() && fault_grid.empty() &&
-                        opt.journal_out.empty() && resume_path.empty();
+                        traffic_grid.empty() && opt.journal_out.empty() &&
+                        resume_path.empty();
     if (single) {
       auto one = cfg;
       if (!loads.empty()) one.load = loads[0];
@@ -155,6 +161,7 @@ int main(int argc, char** argv) {
     spec.loads = loads.empty() ? std::vector<double>{cfg.load} : loads;
     if (!seeds.empty()) spec.seeds = seeds;
     spec.faults = std::move(fault_grid);
+    spec.traffics = std::move(traffic_grid);
 
     opt.jobs = jobs;
     opt.journal_name = spec.name;
@@ -183,15 +190,19 @@ int main(int argc, char** argv) {
     const auto res = tcn::runner::run_sweep(spec, opt);
 
     for (const auto& r : res.runs) {
-      if (r.job.fault_label.empty()) {
-        std::printf("== load=%.0f%% seed=%llu ==\n", r.job.cfg.load * 100,
-                    static_cast<unsigned long long>(r.job.cfg.seed));
-      } else {
-        std::printf("== load=%.0f%% seed=%llu faults=%s ==\n",
+      std::string head;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "== load=%.0f%% seed=%llu",
                     r.job.cfg.load * 100,
-                    static_cast<unsigned long long>(r.job.cfg.seed),
-                    r.job.fault_label.c_str());
+                    static_cast<unsigned long long>(r.job.cfg.seed));
+      head = buf;
+      if (!r.job.fault_label.empty()) {
+        head += " faults=" + r.job.fault_label;
       }
+      if (!r.job.traffic_label.empty()) {
+        head += " traffic=" + r.job.traffic_label;
+      }
+      std::printf("%s ==\n", head.c_str());
       if (r.ok) {
         std::fputs(tcn::core::format_report(r.job.cfg, r.report).c_str(),
                    stdout);
