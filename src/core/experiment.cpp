@@ -314,6 +314,8 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   report.pool_fresh = packet_pool.fresh_allocs();
   report.pool_reused = packet_pool.reuses();
   report.pool_recycled = packet_pool.recycles();
+  report.sim_peak_pending = sim.peak_pending();
+  report.sim_calendar_resizes = sim.calendar_resizes();
   for (std::size_t s = 0; s < network.num_switches(); ++s) {
     auto& sw = network.switch_at(s);
     for (std::size_t p = 0; p < sw.num_ports(); ++p) {

@@ -170,6 +170,13 @@ struct FctReport {
   std::uint64_t pool_reused = 0;
   std::uint64_t pool_recycled = 0;
 
+  // Event-engine telemetry (deterministic per config): high-water mark of
+  // pending events and calendar-queue rebuilds. Mirrored by the sweep
+  // runner into its harness registry as sim/event_peak_pending and
+  // sim/calendar_resizes.
+  std::uint64_t sim_peak_pending = 0;
+  std::uint64_t sim_calendar_resizes = 0;
+
   // Populated when the run was open loop (cfg.traffic.enabled()). Arrivals
   // counts tenant arrivals + replayed flows; active_peak bounds the slab's
   // working set; offered vs. achieved bytes quantify the load the network

@@ -1,0 +1,82 @@
+// Static-dispatch registry for the hot Port pipeline.
+//
+// Port's per-packet path makes five virtual calls (scheduler on_enqueue /
+// select / on_dequeue, marker on_enqueue / on_dequeue). The scheduler and
+// marker zoos are closed, enumerable sets, so Port can recover the concrete
+// type ONCE at construction and dispatch through a std::variant of concrete
+// pointers instead: std::visit on a pointer-to-final-class is a direct,
+// inlinable call, which is what lets the optimizer (especially under LTO)
+// fold marker math straight into the port loop.
+//
+// The virtual interfaces remain the extension seam: the FIRST alternative
+// of each variant is the plain base pointer, and Scheduler::self_variant()
+// / Marker::self_variant() default to returning it. A test double or an
+// out-of-tree scheduler works unchanged -- it just rides the virtual path
+// (one extra indirect call, exactly the pre-refactor cost). In-tree types
+// opt in with a one-line override returning `this` at its concrete type.
+// PortConfig::force_virtual_dispatch pins the base alternative even for
+// in-tree types, which is how bench/micro_core measures the win.
+//
+// This header deliberately uses only forward declarations, so net/ stays
+// the bottom layer at compile time: sched/ and aqm/ still include net/
+// headers, never the reverse. The one-per-program list below is the only
+// place that enumerates the zoo; port.cpp includes the concrete headers to
+// instantiate the visit (a closed-world upcall that lives in the .cpp, not
+// in any interface header).
+#pragma once
+
+#include <variant>
+
+namespace tcn::sched {
+class DwrrScheduler;
+class PifoScheduler;
+class SpHybridScheduler;
+class SpScheduler;
+class WfqScheduler;
+class WrrScheduler;
+}  // namespace tcn::sched
+
+namespace tcn::aqm {
+class CodelMarker;
+class HwTcnMarker;
+class IdealRedMarker;
+class MqEcnMarker;
+class PieMarker;
+class RedEcnMarker;
+class RedProbabilisticMarker;
+class TcnMarker;
+class TcnProbabilisticMarker;
+}  // namespace tcn::aqm
+
+namespace tcn::net {
+
+class Scheduler;
+class FifoScheduler;
+class Marker;
+class NullMarker;
+
+/// One alternative per concrete scheduler; Scheduler* (first) is the
+/// virtual-dispatch fallback for external subclasses and benchmarking.
+using SchedulerVariant = std::variant<Scheduler*,            //
+                                      FifoScheduler*,        //
+                                      sched::SpScheduler*,   //
+                                      sched::DwrrScheduler*, //
+                                      sched::WrrScheduler*,  //
+                                      sched::WfqScheduler*,  //
+                                      sched::SpHybridScheduler*,
+                                      sched::PifoScheduler*>;
+
+/// One alternative per concrete marker; Marker* (first) is the fallback.
+using MarkerVariant = std::variant<Marker*,                         //
+                                   NullMarker*,                     //
+                                   aqm::TcnMarker*,                 //
+                                   aqm::TcnProbabilisticMarker*,    //
+                                   aqm::CodelMarker*,               //
+                                   aqm::MqEcnMarker*,               //
+                                   aqm::RedEcnMarker*,              //
+                                   aqm::RedProbabilisticMarker*,    //
+                                   aqm::PieMarker*,                 //
+                                   aqm::IdealRedMarker*,            //
+                                   aqm::HwTcnMarker*>;
+
+}  // namespace tcn::net

@@ -3,6 +3,27 @@
 #include <cassert>
 #include <stdexcept>
 #include <utility>
+#include <variant>
+
+// Closed-world upcall (see net/dispatch.hpp): the concrete scheduler and
+// marker headers are pulled in HERE -- in the .cpp only, never in a net/
+// interface header -- so std::visit below sees complete final classes and
+// compiles each alternative down to a direct, inlinable call.
+#include "aqm/codel.hpp"
+#include "aqm/hw_tcn.hpp"
+#include "aqm/mq_ecn.hpp"
+#include "aqm/pie.hpp"
+#include "aqm/rate_estimator.hpp"
+#include "aqm/red_ecn.hpp"
+#include "aqm/red_prob.hpp"
+#include "aqm/tcn.hpp"
+#include "net/fifo_scheduler.hpp"
+#include "sched/dwrr.hpp"
+#include "sched/pifo.hpp"
+#include "sched/sp.hpp"
+#include "sched/sp_hybrid.hpp"
+#include "sched/wfq.hpp"
+#include "sched/wrr.hpp"
 
 namespace tcn::net {
 
@@ -39,6 +60,16 @@ Port::Port(sim::Simulator& sim, std::string name, PortConfig cfg,
         "Port: rate_bps * rate_limit_fraction rounds to zero");
   }
   sched_->bind(&queues_, effective_rate_bps_);
+  // Capture the concrete types once; every hot call below goes through the
+  // variants. force_virtual_dispatch pins the base-pointer alternative so
+  // benches can measure the devirtualization win on identical behaviour.
+  if (cfg.force_virtual_dispatch) {
+    sched_v_ = SchedulerVariant{sched_.get()};
+    marker_v_ = MarkerVariant{marker_.get()};
+  } else {
+    sched_v_ = sched_->self_variant();
+    marker_v_ = marker_->self_variant();
+  }
   resolve_metrics();
 }
 
@@ -129,14 +160,17 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
 
   Packet& ref = *p;
   queues_[queue].push(std::move(p));
-  sched_->on_enqueue(queue, ref, sim_.now());
+  std::visit([&](auto* s) { s->on_enqueue(queue, ref, sim_.now()); },
+             sched_v_);
 
   const MarkContext ctx{.now = sim_.now(),
                         .queue = queue,
                         .queue_bytes = queues_[queue].bytes(),
                         .port_bytes = total_bytes_,
                         .link_rate_bps = effective_rate_bps_};
-  if (marker_->on_enqueue(ctx, ref) && ref.ect()) {
+  const bool mark_enq =
+      std::visit([&](auto* m) { return m->on_enqueue(ctx, ref); }, marker_v_);
+  if (mark_enq && ref.ect()) {
     ref.ecn = Ecn::kCe;
     ++counters_.marks;
     if (metrics_.enabled) {
@@ -153,12 +187,13 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
 void Port::try_transmit() {
   if (busy_ || !link_up_ || total_bytes_ == 0) return;
 
-  const std::size_t q = sched_->select(sim_.now());
+  const std::size_t q =
+      std::visit([&](auto* s) { return s->select(sim_.now()); }, sched_v_);
   assert(q < queues_.size() && !queues_[q].empty());
 
   PacketPtr p = queues_[q].pop();
   total_bytes_ -= p->size;
-  sched_->on_dequeue(q, *p, sim_.now());
+  std::visit([&](auto* s) { s->on_dequeue(q, *p, sim_.now()); }, sched_v_);
 
   const MarkContext ctx{.now = sim_.now(),
                         .queue = q,
@@ -166,7 +201,9 @@ void Port::try_transmit() {
                         .port_bytes = total_bytes_,
                         .link_rate_bps = effective_rate_bps_};
   const sim::Time sojourn = sim_.now() - p->enqueue_ts;
-  if (marker_->on_dequeue(ctx, *p) && p->ect()) {
+  const bool mark_deq =
+      std::visit([&](auto* m) { return m->on_dequeue(ctx, *p); }, marker_v_);
+  if (mark_deq && p->ect()) {
     p->ecn = Ecn::kCe;
     ++counters_.marks;
     if (metrics_.enabled) {

@@ -60,6 +60,8 @@ void write_run_object(JsonWriter& w, const RunRecord& r, bool include_timing) {
   w.key("pool_fresh").value(r.report.pool_fresh);
   w.key("pool_reused").value(r.report.pool_reused);
   w.key("pool_recycled").value(r.report.pool_recycled);
+  w.key("sim_peak_pending").value(r.report.sim_peak_pending);
+  w.key("sim_calendar_resizes").value(r.report.sim_calendar_resizes);
   w.end_object();
 
   // Open-loop engine telemetry; absent on closed-loop runs (same conditional

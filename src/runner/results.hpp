@@ -19,7 +19,8 @@
 //                 "p99_small_us", "large_count", "avg_large_us",
 //                 "timeouts", "small_timeouts" },
 //        "counters": { "switch_drops", "switch_marks", "fault_drops",
-//                      "pool_fresh", "pool_reused", "pool_recycled" },
+//                      "pool_fresh", "pool_reused", "pool_recycled",
+//                      "sim_peak_pending", "sim_calendar_resizes" },
 //        "flows_started", "flows_completed", "events", "sim_end_s",
 //        "wall_ms", "events_per_sec",               // non-deterministic
 //        "postmortem"?                              // failed runs only

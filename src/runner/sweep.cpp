@@ -1,5 +1,6 @@
 #include "runner/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -375,6 +376,18 @@ SweepResult run_jobs(std::vector<Job> jobs, const SweepOptions& opt) {
   harness.counter("runner/failed_oom_guard").inc(res.failed_oom_guard);
   harness.counter("runner/failed_exception").inc(res.failed_exception);
   harness.counter("runner/pool_exceptions").inc(res.pool_exceptions);
+  // Event-engine telemetry, aggregated over completed runs in index order
+  // (runs are already index-sorted, so the gauge deterministically holds the
+  // sweep-wide peak regardless of --jobs).
+  std::uint64_t peak_pending = 0;
+  std::uint64_t calendar_resizes = 0;
+  for (const RunRecord& r : res.runs) {
+    if (!r.ok) continue;
+    peak_pending = std::max(peak_pending, r.report.sim_peak_pending);
+    calendar_resizes += r.report.sim_calendar_resizes;
+  }
+  harness.gauge("sim/event_peak_pending").set(static_cast<double>(peak_pending));
+  harness.counter("sim/calendar_resizes").inc(calendar_resizes);
   res.harness_metrics = harness.snapshot();
 
   res.wall_ms = ms_since(sweep_start);

@@ -22,6 +22,10 @@ namespace tcn::sched {
 
 class PifoScheduler final : public net::Scheduler {
  public:
+  [[nodiscard]] net::SchedulerVariant self_variant() noexcept override {
+    return this;
+  }
+
   /// Computes the rank of a packet at enqueue time.
   using RankFn =
       std::function<std::int64_t(const net::Packet&, std::size_t queue,

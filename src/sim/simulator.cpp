@@ -9,54 +9,13 @@
 
 namespace tcn::sim {
 
-void Simulator::sift_up(std::size_t i) {
-  const Entry e = heap_[i];
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!before(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = e;
-}
-
-void Simulator::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  const Entry e = heap_[i];
-  for (;;) {
-    std::size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
-    if (!before(heap_[child], e)) break;
-    heap_[i] = heap_[child];
-    i = child;
-  }
-  heap_[i] = e;
-}
-
-void Simulator::push_entry(Entry e) {
-  heap_.push_back(e);
-  sift_up(heap_.size() - 1);
-}
-
-Simulator::Entry Simulator::pop_entry() {
-  const Entry top = heap_.front();
-  if (heap_.size() > 1) {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    sift_down(0);
-  } else {
-    heap_.pop_back();
-  }
-  return top;
-}
-
 std::uint32_t Simulator::acquire_slot() {
   if (free_slots_.empty()) {
     if ((slot_count_ >> kSlotBlockShift) == slot_blocks_.size()) {
       slot_blocks_.push_back(std::make_unique<Callback[]>(kSlotBlockSize));
     }
     const std::uint32_t s = slot_count_++;
+    slot_gens_.push_back(0);
     // Free-list depth is bounded by the slot count; pre-reserving (with
     // geometric growth, so repeated one-slot expansions stay amortized
     // O(1)) keeps release_slot() genuinely noexcept.
@@ -73,36 +32,24 @@ std::uint32_t Simulator::acquire_slot() {
 
 void Simulator::release_slot(std::uint32_t s) noexcept {
   slot(s).reset();
+  // Invalidate every outstanding ticket for this slot: cancel() of a fired
+  // (or already-cancelled) event sees a generation mismatch and is a no-op.
+  ++slot_gens_[s];
   free_slots_.push_back(s);
 }
 
-// Every live cancelled id corresponds to a pending heap entry, so the
-// cancelled set can never legitimately outgrow the heap. Cancelling an id
-// that already fired breaks that correspondence; when it happens often
-// enough to matter, one O(pending) sweep reclaims every stale id -- the
-// sweep only triggers after >= heap-size stale inserts, so it stays
-// amortized O(1) per cancel and the hot path keeps zero side tables.
-void Simulator::purge_stale_cancels() {
-  std::unordered_set<EventId> pending;
-  pending.reserve(heap_.size());
-  for (const Entry& e : heap_) pending.insert(e.id);
-  for (auto it = cancelled_.begin(); it != cancelled_.end();) {
-    it = pending.contains(*it) ? std::next(it) : cancelled_.erase(it);
-  }
-}
-
 bool Simulator::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
-  if (heap_.empty()) {
-    // Nothing is pending, so `id` must already have fired (or been
-    // reclaimed); any remembered ids are stale too.
-    cancelled_.clear();
-    return false;
-  }
-  // Lazy deletion: remember the id; the heap entry is discarded when popped.
-  const bool inserted = cancelled_.insert(id).second;
-  if (cancelled_.size() > heap_.size()) purge_stale_cancels();
-  return inserted;
+  const std::uint32_t lo = static_cast<std::uint32_t>(id);
+  if (lo == 0 || lo > slot_count_) return false;
+  const std::uint32_t s = lo - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot_gens_[s] != gen) return false;  // already fired or cancelled
+  // Pending: destroy the captures now, recycle the slot, and leave the
+  // queue entry behind as a tombstone -- pop() sees the generation bump and
+  // discards it in O(1) when its time comes.
+  release_slot(s);
+  ++tombstones_;
+  return true;
 }
 
 void Simulator::throw_budget(BudgetExceeded::Kind kind, Time at) const {
@@ -122,7 +69,7 @@ void Simulator::throw_budget(BudgetExceeded::Kind kind, Time at) const {
       break;
     case BudgetExceeded::Kind::kPending:
       what += "pending-event guard tripped: " +
-              std::to_string(heap_.size()) + " heap entries exceed the cap "
+              std::to_string(queue_.size()) + " queue entries exceed the cap "
               "of " + std::to_string(budget_.max_pending) +
               " (a component is scheduling faster than it executes)";
       break;
@@ -144,17 +91,21 @@ std::uint64_t Simulator::run(Time until) {
   using WallClock = std::chrono::steady_clock;
   WallClock::time_point wall_start{};
   if (budget_.max_wall_ms > 0.0) wall_start = WallClock::now();
-  while (!heap_.empty() && !stopped_) {
-    if (heap_.front().at > until) break;
+  while (!stopped_) {
+    const EventEntry* top = queue_.peek();
+    if (top == nullptr || top->at > until) break;
     if (has_budget) {
-      const Time next_at = heap_.front().at;
+      // Budgets are checked against the raw queue front -- tombstones
+      // included -- exactly as the heap did, so budget trip points are
+      // unchanged and deterministic.
+      const Time next_at = top->at;
       if (budget_.max_events != 0 && executed_ >= budget_.max_events) {
         throw_budget(BudgetExceeded::Kind::kEvents, next_at);
       }
       if (budget_.max_sim_time != 0 && next_at > budget_.max_sim_time) {
         throw_budget(BudgetExceeded::Kind::kSimTime, next_at);
       }
-      if (budget_.max_pending != 0 && heap_.size() > budget_.max_pending) {
+      if (budget_.max_pending != 0 && queue_.size() > budget_.max_pending) {
         throw_budget(BudgetExceeded::Kind::kPending, next_at);
       }
       if (budget_.max_wall_ms > 0.0 &&
@@ -168,14 +119,12 @@ std::uint64_t Simulator::run(Time until) {
         }
       }
     }
-    const Entry e = pop_entry();
-    if (!cancelled_.empty()) {
-      const auto it = cancelled_.find(e.id);
-      if (it != cancelled_.end()) {
-        cancelled_.erase(it);
-        release_slot(e.slot);  // destroys the unfired callback's captures
-        continue;
-      }
+    const EventEntry e = queue_.pop();
+    if (slot_gens_[e.slot] != e.gen) {
+      // Tombstone: the event was cancelled (slot already recycled); the
+      // entry just falls out of the queue here.
+      --tombstones_;
+      continue;
     }
     assert(e.at >= now_);
     if (e.at == now_) {
@@ -197,22 +146,18 @@ std::uint64_t Simulator::run(Time until) {
     ++executed_;
     // Invoke in place: slot blocks never move, so a nested schedule that
     // grows the pool never invalidates the reference below. The guard
-    // releases the slot after the call (even on throw); it never
+    // releases the slot after the call (even on throw); release_slot never
     // reallocates free_slots_ because acquire_slot() pre-reserved it, so
     // the destructor is safe.
     Callback& cb = slot(e.slot);
     struct SlotGuard {
-      Callback* cb;
-      std::vector<std::uint32_t>* free_list;
+      Simulator* sim;
       std::uint32_t slot;
-      ~SlotGuard() {
-        cb->reset();
-        free_list->push_back(slot);
-      }
-    } guard{&cb, &free_slots_, e.slot};
+      ~SlotGuard() { sim->release_slot(slot); }
+    } guard{this, e.slot};
     cb();
   }
-  if (heap_.empty()) cancelled_.clear();
+  assert(!queue_.empty() || tombstones_ == 0);
   return count;
 }
 

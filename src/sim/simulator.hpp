@@ -1,32 +1,44 @@
 // Discrete-event simulator core.
 //
-// A Simulator owns a pending-event heap ordered by (time, insertion sequence)
-// so that events scheduled for the same instant fire in scheduling order --
-// this makes every run deterministic. Events are arbitrary callables;
-// schedule() returns an EventId usable with cancel() (lazy deletion).
+// A Simulator owns a pending-event calendar queue (sim/event_queue.hpp)
+// ordered by (time, insertion sequence) so that events scheduled for the
+// same instant fire in scheduling order -- this makes every run
+// deterministic, and the order is identical to the binary heap the calendar
+// replaced, so golden traces stay byte-for-byte stable. Events are
+// arbitrary callables; schedule() returns an EventId usable with cancel().
 //
 // Zero-allocation hot path: callbacks are move-only InlineCallbacks with
 // fixed inline storage (sim/inline_callback.hpp), and they live in a
-// free-list slot pool *next to* the heap rather than inside it. Heap
-// entries are 24-byte PODs {time, id, slot}, so the sift loops move trivial
-// structs instead of relocating 64-byte callables; a callback is
+// free-list slot pool *next to* the queue rather than inside it. Queue
+// entries are 24-byte PODs {time, seq, slot, gen}, so restructuring moves
+// trivial structs instead of relocating 64-byte callables; a callback is
 // constructed once, directly into its slot, and invoked in place -- zero
 // relocations over its whole lifetime. Steady state performs no heap
-// allocations at all: the heap vector, slot blocks and free list all
+// allocations at all: the calendar ring, slot blocks and free list all
 // plateau at the peak pending-event count.
+//
+// Cancellation is O(1) via slot generations: an EventId encodes (slot,
+// generation); cancel() compares the ticket against the slot's current
+// generation -- a mismatch means the event already fired (or was already
+// cancelled) and is a no-op, a match destroys the captures immediately and
+// bumps the generation so the queue discards the dead entry when popped.
+// No side tables, no scans, nothing to leak.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace tcn::sim {
 
+/// Cancellation ticket: (slot generation << 32) | (slot index + 1), so a
+/// valid id is never 0. Ids are NOT monotone across events (the (at, seq)
+/// pop order comes from an internal sequence counter instead).
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -45,8 +57,8 @@ struct RunBudget {
   /// Wall-clock watchdog for one run() call, in milliseconds. Checked every
   /// kWallCheckInterval events so the hot path stays clock-free.
   double max_wall_ms = 0.0;
-  /// OOM guard: ceiling on pending heap entries (a component that schedules
-  /// faster than it executes grows the heap without bound).
+  /// OOM guard: ceiling on pending queue entries (a component that schedules
+  /// faster than it executes grows the queue without bound).
   std::size_t max_pending = 0;
 
   [[nodiscard]] bool any() const noexcept {
@@ -65,7 +77,7 @@ class BudgetExceeded : public std::runtime_error {
     kWallClock,   ///< max_wall_ms elapsed
     kSimTime,     ///< next event lies past max_sim_time
     kEvents,      ///< max_events executed
-    kPending,     ///< heap grew past max_pending (OOM guard)
+    kPending,     ///< queue grew past max_pending (OOM guard)
     kEventStorm,  ///< same-timestamp livelock watchdog
   };
 
@@ -101,11 +113,12 @@ class Simulator {
     if (at < now_) {
       throw std::invalid_argument("Simulator::schedule_at: time in the past");
     }
-    const EventId id = next_id_++;
     const std::uint32_t s = acquire_slot();
     slot(s) = std::forward<F>(cb);
-    push_entry(Entry{at, id, s});
-    return id;
+    const std::uint32_t gen = slot_gens_[s];
+    queue_.push(EventEntry{at, next_seq_++, s, gen});
+    if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+    return (static_cast<EventId>(gen) << 32) | (s + 1);
   }
 
   /// Schedule `cb` `delay` nanoseconds from now.
@@ -114,11 +127,11 @@ class Simulator {
     return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
-  /// Cancel a pending event (lazy: the entry is skipped when popped).
-  /// Cancelling an invalid id is a harmless no-op (returns false).
-  /// Cancelling an id that already fired is also harmless: the stale entry
-  /// is reclaimed (amortized) so long fault-heavy runs cannot leak, though
-  /// the call may still return true.
+  /// Cancel a pending event: O(1). Returns true iff the event was pending
+  /// (its captures are destroyed and its slot recycled immediately; the
+  /// queue entry becomes a tombstone discarded when popped). Cancelling an
+  /// invalid id, an id that already fired, or an already-cancelled id is a
+  /// harmless no-op returning false.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or simulation time exceeds `until`.
@@ -155,39 +168,36 @@ class Simulator {
 
   /// Pending (non-cancelled) event count.
   [[nodiscard]] std::size_t pending() const noexcept {
-    return heap_.size() - cancelled_.size();
+    return queue_.size() - tombstones_;
   }
 
-  /// Cancelled-but-not-yet-reclaimed entries (diagnostics; bounded by the
-  /// number of pending events).
+  /// Cancelled-but-not-yet-discarded queue entries (diagnostics; bounded by
+  /// the number of queue entries, and each is discarded in O(1) when its
+  /// time comes -- cancels can never leak).
   [[nodiscard]] std::size_t cancelled_backlog() const noexcept {
-    return cancelled_.size();
+    return tombstones_;
   }
+
+  /// High-water mark of pending queue entries. Engine telemetry: copied
+  /// into FctReport after each run and mirrored into the sweep-level
+  /// harness MetricsRegistry as the sim/event_peak_pending gauge (the
+  /// per-run registry is byte-pinned by the metrics golden, so the
+  /// simulator itself registers nothing -- plain counters here keep the
+  /// hot path obs-free entirely).
+  [[nodiscard]] std::uint64_t peak_pending() const noexcept {
+    return peak_pending_;
+  }
+
+  /// Calendar-queue rebuilds so far (sim/calendar_resizes counter).
+  [[nodiscard]] std::uint64_t calendar_resizes() const noexcept {
+    return queue_.resizes();
+  }
+
+  /// The pending-event container (introspection for tests/benches).
+  [[nodiscard]] const CalendarQueue& queue() const noexcept { return queue_; }
 
  private:
-  /// POD heap node; the callback lives in slots_[slot]. Keeping the heap
-  /// trivially copyable is what makes sift moves cheap.
-  struct Entry {
-    Time at;
-    EventId id;  // doubles as the insertion sequence for FIFO ties
-    std::uint32_t slot;
-  };
-  static_assert(std::is_trivially_copyable_v<Entry>);
-
-  /// True when a fires strictly before b.
-  static bool before(const Entry& a, const Entry& b) noexcept {
-    return a.at < b.at || (a.at == b.at && a.id < b.id);
-  }
-
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  void push_entry(Entry e);
-  Entry pop_entry();
-  /// Pop a free slot (or grow the pool); the slot's callback is empty.
-  std::uint32_t acquire_slot();
-  /// Destroy the slot's callback and return the index to the free list.
-  void release_slot(std::uint32_t slot) noexcept;
-  void purge_stale_cancels();
+  friend struct SimulatorTestPeer;
 
   /// Slot storage: fixed power-of-two blocks that are allocated once and
   /// never move, so growth (a nested schedule while a callback executes in
@@ -200,22 +210,34 @@ class Simulator {
     return slot_blocks_[s >> kSlotBlockShift][s & (kSlotBlockSize - 1)];
   }
 
-  /// Throws BudgetExceeded for the budget check that tripped on entry `e`.
+  /// Pop a free slot (or grow the pool); the slot's callback is empty.
+  std::uint32_t acquire_slot();
+  /// Destroy the slot's callback, invalidate outstanding tickets for it
+  /// (generation bump) and return the index to the free list.
+  void release_slot(std::uint32_t slot) noexcept;
+
+  /// Throws BudgetExceeded for the budget check that tripped on an event
+  /// at time `at`.
   [[noreturn]] void throw_budget(BudgetExceeded::Kind kind, Time at) const;
 
   Time now_ = 0;
   bool stopped_ = false;
   RunBudget budget_;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t storm_limit_ = 10'000'000;
-  std::vector<Entry> heap_;  // binary min-heap by before()
+  CalendarQueue queue_;
   /// Callback blocks indexed via slot(); the outer vector may reallocate
   /// but only holds pointers -- block addresses are stable for life.
   std::vector<std::unique_ptr<Callback[]>> slot_blocks_;
   std::uint32_t slot_count_ = 0;           // total slots ever created
   std::vector<std::uint32_t> free_slots_;  // LIFO recycled slot indices
-  std::unordered_set<EventId> cancelled_;
+  /// Current generation per slot; bumped on every release (fire or cancel)
+  /// so stale EventIds can never alias a live event. 32-bit: a collision
+  /// needs one slot to cycle 2^32 times while a single entry is pending.
+  std::vector<std::uint32_t> slot_gens_;
+  std::uint64_t tombstones_ = 0;    // cancelled entries still in the queue
+  std::uint64_t peak_pending_ = 0;  // high-water mark of queue_.size()
 };
 
 }  // namespace tcn::sim

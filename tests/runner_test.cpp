@@ -6,6 +6,7 @@
 // golden for the tcn-bench-1 JSON schema.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -433,6 +434,36 @@ TEST(Sweep, HarnessMetricsMirrorTotals) {
   EXPECT_EQ(counter("runner/pool_exceptions"), 0u);
 }
 
+// The event-engine telemetry rides the same harness registry as runner/*:
+// the gauge holds the sweep-wide pending peak over ok runs, the counter sums
+// calendar resizes. Needs completing runs, unlike the mirror test above.
+TEST(Sweep, HarnessMetricsCarryEventEngineTelemetry) {
+  const auto spec = small_spec();
+  runner::SweepOptions opt;
+  const auto res = runner::run_sweep(spec, opt);
+  ASSERT_GT(res.completed, 0u);
+  std::uint64_t want_peak = 0;
+  std::uint64_t want_resizes = 0;
+  for (const auto& r : res.runs) {
+    if (!r.ok) continue;
+    want_peak = std::max(want_peak, r.report.sim_peak_pending);
+    want_resizes += r.report.sim_calendar_resizes;
+  }
+  EXPECT_GT(want_peak, 0u);  // a completed run always pushed events
+  const auto& counters = res.harness_metrics.counters;
+  const auto c = std::find_if(counters.begin(), counters.end(), [](const auto& v) {
+    return v.name == "sim/calendar_resizes";
+  });
+  ASSERT_NE(c, counters.end());
+  EXPECT_EQ(c->value, want_resizes);
+  const auto& gauges = res.harness_metrics.gauges;
+  const auto g = std::find_if(gauges.begin(), gauges.end(), [](const auto& v) {
+    return v.name == "sim/event_peak_pending";
+  });
+  ASSERT_NE(g, gauges.end());
+  EXPECT_EQ(g->last, static_cast<double>(want_peak));
+}
+
 // ------------------------------------------------------------ fault axis ----
 
 TEST(Sweep, ParseFaultGridLabelsCells) {
@@ -518,6 +549,7 @@ TEST(Results, JsonMatchesSchemaGolden) {
       "small_timeouts",
       "counters", "switch_drops", "switch_marks", "fault_drops",
       "pool_fresh", "pool_reused", "pool_recycled",
+      "sim_peak_pending", "sim_calendar_resizes",
       "flows_started", "flows_completed", "events", "sim_end_s", "wall_ms",
       "events_per_sec"};
   EXPECT_EQ(json_keys(doc), expected);

@@ -184,8 +184,43 @@ TEST(Simulator, EventStormWatchdogThrows) {
   s.set_event_storm_limit(1000);
   std::function<void()> chain = [&] { s.schedule_at(s.now(), chain); };
   s.schedule_at(5, chain);
+  // A far-future RTO-like timer rides along; cancelling it after the storm
+  // fires must be an O(1) tombstone with no leak.
+  const EventId rto = s.schedule_at(1'000'000'000, [] {});
   EXPECT_THROW(s.run(), std::runtime_error);
   EXPECT_EQ(s.now(), 5);  // livelock was pinned at the stuck timestamp
+  EXPECT_TRUE(s.cancel(rto));
+  EXPECT_FALSE(s.cancel(rto));  // second cancel: stale ticket, no-op
+  EXPECT_EQ(s.cancelled_backlog(), 1u);  // exactly the one tombstone
+  EXPECT_LE(s.cancelled_backlog(), s.pending() + 1);
+}
+
+TEST(Simulator, CancelledFarFutureEventIsO1Tombstone) {
+  Simulator s;
+  // The satellite-6 scenario: far-future timers cancelled en masse must not
+  // accumulate anywhere. The tombstones drain as the clock passes them.
+  std::vector<EventId> timers;
+  for (int i = 0; i < 1000; ++i) {
+    timers.push_back(s.schedule_at(1'000'000 + i, [] {}));
+  }
+  int fired = 0;
+  s.schedule_at(2'000'000, [&] { ++fired; });
+  for (const EventId id : timers) EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(s.cancelled_backlog(), 1000u);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.run(), 1u);  // only the live event executes
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.cancelled_backlog(), 0u);  // every tombstone discarded
+}
+
+TEST(Simulator, PeakPendingAndResizeTelemetry) {
+  Simulator s;
+  for (int i = 0; i < 500; ++i) s.schedule_at(i + 1, [] {});
+  EXPECT_EQ(s.peak_pending(), 500u);
+  s.run();
+  EXPECT_EQ(s.peak_pending(), 500u);  // high-water mark survives the drain
+  // 500 near-future events outgrow the 64-bucket ring: the calendar resized.
+  EXPECT_GT(s.calendar_resizes(), 0u);
 }
 
 TEST(Simulator, EventBudgetThrowsWithKind) {
