@@ -77,8 +77,8 @@ Result run(core::Scheme scheme, std::uint64_t seed) {
 
   Result r{};
   r.peak_kb = occupancy.max() / 1e3;
-  r.steady_p50_kb = static_cast<double>(steady.percentile(50.0)) / 1e3;
-  r.steady_p95_kb = static_cast<double>(steady.percentile(95.0)) / 1e3;
+  r.steady_p50_kb = steady.quantile(0.5) / 1e3;
+  r.steady_p95_kb = steady.quantile(0.95) / 1e3;
   r.steady_max_kb = static_cast<double>(steady.max()) / 1e3;
   return r;
 }

@@ -86,7 +86,7 @@ Result run(core::Scheme scheme, std::uint64_t seed) {
 
   const auto& h = registry.histogram("ping.rtt_ns");
   const double us = static_cast<double>(sim::kMicrosecond);
-  return {h.mean() / us, static_cast<double>(h.percentile(99.0)) / us,
+  return {h.mean() / us, h.quantile(0.99) / us,
           static_cast<std::size_t>(h.count())};
 }
 

@@ -34,6 +34,7 @@
 #include "net/port.hpp"
 #include "net/queue.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "runner/json.hpp"
 #include "sched/dwrr.hpp"
 #include "sched/wfq.hpp"
@@ -490,6 +491,48 @@ BenchResult bench_port_pipeline(std::string label, bool with_metrics,
       min_secs);
 }
 
+/// The obs_off pipeline again, but against the time-series sampler instead
+/// of the metrics registry: `with_series` installs a TimeSeries scope (so
+/// the port resolves per-queue channels at construction) and re-arms the
+/// periodic sampler before every batch. The on/off ratio is the CI gate for
+/// the sampler's enabled cost -- the per-dequeue channel accumulation plus
+/// the amortized 100us tick events must stay within 5% of the bare
+/// pipeline; disabled it is the same null-handle zero as the metrics path.
+BenchResult bench_port_timeseries(std::string label, bool with_series,
+                                  double min_secs) {
+  net::PacketUidScope uids;
+  net::PacketPool pool;
+  net::PacketPool::Scope scope(pool);
+  obs::TimeSeriesConfig ts_cfg;
+  ts_cfg.interval = 100 * sim::kMicrosecond;
+  std::optional<obs::TimeSeries> series;
+  std::optional<obs::TimeSeries::Scope> series_scope;
+  if (with_series) {
+    series.emplace(ts_cfg);
+    series_scope.emplace(*series);
+  }
+
+  sim::Simulator s;
+  net::PortConfig cfg;
+  cfg.rate_bps = 10'000'000'000ULL;
+  net::Port port(s, "bench.p2", cfg, std::make_unique<net::FifoScheduler>(),
+                 std::make_unique<net::NullMarker>());
+  SinkNode sink;
+  port.connect(&sink, 0);
+  return measure(
+      std::move(label), kPortBatch,
+      [&] {
+        if (series) series->start(s);  // sampler stops when the sim drains
+        for (int i = 0; i < kPortBatch; ++i) {
+          auto p = net::make_packet();
+          p->size = 1500;
+          port.enqueue(std::move(p), 0);
+        }
+        s.run();
+      },
+      min_secs);
+}
+
 /// Same pipeline with a real scheduler/marker pair (DWRR + TCN -- the
 /// paper's headline combination) dispatched statically vs pinned to the
 /// virtual path via PortConfig::force_virtual_dispatch. Identical traffic,
@@ -695,6 +738,10 @@ int main(int argc, char** argv) {
   results.push_back(
       bench_port_pipeline("port_pipeline_obs_on", true, min_secs));
   results.push_back(
+      bench_port_timeseries("port_pipeline_timeseries_off", false, min_secs));
+  results.push_back(
+      bench_port_timeseries("port_pipeline_timeseries_on", true, min_secs));
+  results.push_back(
       bench_port_dispatch("port_pipeline_static", false, min_secs));
   results.push_back(
       bench_port_dispatch("port_pipeline_virtual", true, min_secs));
@@ -780,6 +827,14 @@ int main(int argc, char** argv) {
                 (port_off->ops_per_sec() / port_on->ops_per_sec() - 1.0) *
                     100.0);
   }
+  const auto* ts_off = find("port_pipeline_timeseries_off");
+  const auto* ts_on = find("port_pipeline_timeseries_on");
+  double timeseries_overhead = 0.0;
+  if (ts_off && ts_on && ts_on->ops_per_sec() > 0) {
+    timeseries_overhead = ts_off->ops_per_sec() / ts_on->ops_per_sec() - 1.0;
+    std::printf("port path time-series overhead (sampler on vs off):   %.1f%%\n",
+                timeseries_overhead * 100.0);
+  }
   const auto* eq_cal = find("event_path_calendar");
   const auto* eq_heap = find("event_path_heap");
   double event_queue_ratio = 0.0;
@@ -813,6 +868,22 @@ int main(int argc, char** argv) {
     }
     std::printf("gate ok: event queue ratio %.2fx >= %.2fx\n",
                 event_queue_ratio, kEventQueueGate);
+    // Enabled-sampler acceptance: per-dequeue channel accumulation plus the
+    // amortized tick events must cost <= 5% of the bare port pipeline. The
+    // pair shares one driver and differs only in the installed scope, so
+    // the ratio isolates the sampler (same reasoning as the event gate).
+    constexpr double kTimeSeriesOverheadGate = 0.05;
+    if (ts_off != nullptr && ts_on != nullptr &&
+        timeseries_overhead > kTimeSeriesOverheadGate) {
+      std::fprintf(stderr,
+                   "GATE FAILED: time-series sampler overhead %.1f%% > "
+                   "%.0f%%\n",
+                   timeseries_overhead * 100.0,
+                   kTimeSeriesOverheadGate * 100.0);
+      return 1;
+    }
+    std::printf("gate ok: time-series sampler overhead %.1f%% <= %.0f%%\n",
+                timeseries_overhead * 100.0, kTimeSeriesOverheadGate * 100.0);
   }
   return 0;
 }

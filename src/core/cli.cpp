@@ -165,6 +165,22 @@ observability:
   --trace-out PATH            stream a tcn-trace-1 JSONL per-packet event
                               trace (enq/deq/drop/mark) during the run
                               (single-run only, rejected in sweeps)
+  --sample-interval-us F      sample every (port, queue) each F us of sim
+                              time (depth, sojourn, marks, throughput) and
+                              reduce each series online into stability
+                              metrics (oscillation score, sojourn CV, mark
+                              burstiness, stable/oscillating/saturated);
+                              the reduction rides the tcn-bench-1 JSON and
+                              journal. Off by default; sampling changes no
+                              FCT/drop/mark result
+  --sample-ring N             per-channel ring capacity: the last N samples
+                              are retained for --series-out (default 2048;
+                              the stability reduction always sees every
+                              sample)
+  --series-out PATH           write a tcn-series-1 JSONL dump of every
+                              sampled channel after the run (single-run
+                              only, rejected in sweeps; implies sampling at
+                              100 us when --sample-interval-us is not given)
 sweep execution (tool-level flags, handled by tcnsim itself):
   --loads l1,l2,...           run a load sweep (cross product with --seeds)
   --seeds s1,s2,...           run a seed sweep
@@ -319,6 +335,22 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
       if (cfg.trace_out.empty()) {
         throw std::invalid_argument("--trace-out: empty path");
       }
+    } else if (flag == "--sample-interval-us") {
+      cfg.timeseries.interval =
+          static_cast<sim::Time>(to_double(flag, value()) * sim::kMicrosecond);
+      if (cfg.timeseries.interval <= 0) {
+        throw std::invalid_argument("--sample-interval-us: must be positive");
+      }
+    } else if (flag == "--sample-ring") {
+      cfg.timeseries.max_samples = to_u64(flag, value());
+      if (cfg.timeseries.max_samples == 0) {
+        throw std::invalid_argument("--sample-ring: must be positive");
+      }
+    } else if (flag == "--series-out") {
+      cfg.series_out = value();
+      if (cfg.series_out.empty()) {
+        throw std::invalid_argument("--series-out: empty path");
+      }
     } else if (flag == "--seed") {
       cfg.seed = to_u64(flag, value());
     } else {
@@ -423,6 +455,19 @@ std::string format_report(const FctExperiment& cfg, const FctReport& r) {
                   "reported above)\n",
                   cfg.faults.size(),
                   static_cast<unsigned long long>(r.fault_drops));
+    out += buf;
+  }
+  if (r.stability_analyzed) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  stability[%s]: regime=%s osc=%.3f sojourn_cv=%.3f "
+        "mark_burst=%.2f (%llu ticks x %llu channels)\n",
+        r.stability_channel.c_str(),
+        std::string(obs::regime_name(r.stability.regime)).c_str(),
+        r.stability.oscillation_score, r.stability.sojourn_cv,
+        r.stability.mark_burstiness,
+        static_cast<unsigned long long>(r.series_ticks),
+        static_cast<unsigned long long>(r.series_channels));
     out += buf;
   }
   if (r.invariants_checked) {

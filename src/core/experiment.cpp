@@ -73,6 +73,28 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
   std::optional<obs::MetricsRegistry::Scope> metrics_scope;
   if (collect_metrics) metrics_scope.emplace(registry);
 
+  // Time-series sampler (fourth sibling scope), likewise installed before
+  // the topology so every port registers its per-queue channels at
+  // construction. --series-out implies sampling at a 100us default.
+  obs::TimeSeriesConfig ts_cfg = cfg.timeseries;
+  if (!cfg.series_out.empty() && !ts_cfg.enabled()) {
+    ts_cfg.interval = 100 * sim::kMicrosecond;
+  }
+  const bool sample_series = ts_cfg.enabled();
+  std::optional<obs::TimeSeries> series;
+  std::optional<obs::TimeSeries::Scope> series_scope;
+  if (sample_series) {
+    series.emplace(ts_cfg);
+    series_scope.emplace(*series);
+  }
+
+  // Like the trace file: open --series-out before the run so unwritable
+  // paths fail in milliseconds.
+  std::ofstream series_file;
+  if (!cfg.series_out.empty()) {
+    series_file = obs::open_output_file(cfg.series_out);
+  }
+
   // The trace file opens before the simulation runs a single event, so an
   // unwritable --trace-out path fails in milliseconds, not after the run.
   std::ofstream trace_file;
@@ -261,6 +283,11 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     all2all->start();
   }
 
+  // Arm the sampler last, after the workload scheduled its first events:
+  // the tick stops re-arming once it finds the queue otherwise empty, so a
+  // run that would have drained still drains.
+  if (sample_series) series->start(sim);
+
   sim::RunBudget budget;
   budget.max_wall_ms = cfg.wall_budget_ms;
   budget.max_events = cfg.event_budget;
@@ -338,6 +365,32 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
           std::to_string(report.invariant_violations) +
               " invariant violation(s) -- first: " + report.invariant_message,
           postmortem());
+    }
+  }
+  if (sample_series) {
+    report.stability_analyzed = true;
+    report.series_channels = series->num_channels();
+    report.series_ticks = series->ticks();
+    if (const obs::TimeSeries::Channel* dom = series->dominant_channel()) {
+      report.stability_channel = dom->name();
+      report.stability = dom->analyzer().result(dom->cap_bytes());
+    }
+    // Mirror the headline reduction into the metrics registry (before the
+    // snapshot below). Only when sampling ran: a metrics-only run keeps the
+    // exact pinned key set of tests/golden/.
+    if (collect_metrics) {
+      registry.gauge("stability/oscillation_score")
+          .set(report.stability.oscillation_score);
+      registry.gauge("stability/sojourn_cv").set(report.stability.sojourn_cv);
+      registry.gauge("stability/mark_burstiness")
+          .set(report.stability.mark_burstiness);
+    }
+    if (!cfg.series_out.empty()) {
+      obs::write_series_jsonl(series_file, *series);
+      series_file.flush();
+      if (!series_file) {
+        throw std::runtime_error("write failed for '" + cfg.series_out + "'");
+      }
     }
   }
   if (collect_metrics) {

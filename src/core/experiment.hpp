@@ -13,6 +13,7 @@
 #include "net/trace.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "stats/fct.hpp"
 #include "traffic/spec.hpp"
 #include "transport/tcp.hpp"
@@ -129,6 +130,20 @@ struct FctExperiment {
   /// writer (test hook); must outlive the run.
   net::PortObserver* extra_observer = nullptr;
 
+  /// Fixed-interval time-series sampling + online stability analysis
+  /// (obs::TimeSeries). Off by default (interval == 0): no scope is
+  /// installed, ports keep null channel handles, and nothing changes --
+  /// not even the metrics snapshot. When enabled, every (port, queue)
+  /// records depth/sojourn/marks/throughput each interval; the reduction
+  /// lands in FctReport::stability. Sampling adds tick events (so
+  /// FctReport::events grows) but changes no FCT, drop or mark result.
+  obs::TimeSeriesConfig timeseries;
+  /// Write a tcn-series-1 JSONL dump of every sampled channel here after
+  /// the run (single-run deep dives). Implies sampling: when no interval
+  /// was configured, a 100us default is used. Opened before the simulation
+  /// starts, so unwritable paths fail early.
+  std::string series_out;
+
   /// Hard stop; 0 means run until every flow completes or events drain.
   sim::Time time_limit = 0;
 
@@ -202,6 +217,17 @@ struct FctReport {
   bool metrics_collected = false;
   obs::MetricsSnapshot metrics;
   std::uint64_t trace_records = 0;  ///< JSONL records written to trace_out
+
+  // Populated when time-series sampling ran (cfg.timeseries.enabled() or
+  // series_out set). `stability` reduces the run's dominant channel -- the
+  // (port, queue) that carried the most tx bytes, i.e. the bottleneck
+  // egress -- and is deterministic per config, so it rides the tcn-bench-1
+  // JSON and journal byte-identically for any --jobs.
+  bool stability_analyzed = false;
+  std::uint64_t series_channels = 0;
+  std::uint64_t series_ticks = 0;
+  std::string stability_channel;
+  obs::StabilityResult stability;
 };
 
 /// Run one experiment; deterministic for a given config (seeded RNG,

@@ -71,6 +71,7 @@ Port::Port(sim::Simulator& sim, std::string name, PortConfig cfg,
     marker_v_ = marker_->self_variant();
   }
   resolve_metrics();
+  resolve_timeseries();
 }
 
 void Port::resolve_metrics() {
@@ -91,6 +92,22 @@ void Port::resolve_metrics() {
   metrics_.marks_dequeue = &reg->counter(base + "marks.dequeue");
   metrics_.mark_sojourn = &reg->histogram(base + "mark_sojourn_ns");
   metrics_.interdeq_gap = &reg->histogram(base + "interdeq_gap_ns");
+}
+
+void Port::resolve_timeseries() {
+  obs::TimeSeries* ts = obs::TimeSeries::current();
+  if (ts == nullptr) return;
+  series_enabled_ = true;
+  series_.reserve(queues_.size());
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    // The depth probe runs only at tick time; capturing [this, q] keeps the
+    // hot path free of any per-packet probe cost.
+    series_.push_back(ts->add_channel(
+        name_ + ".q" + std::to_string(q), cfg_.buffer_bytes,
+        [this, q]() -> std::pair<std::uint64_t, std::uint64_t> {
+          return {queues_[q].bytes(), queues_[q].size()};
+        }));
+  }
 }
 
 void Port::emit(TraceEvent event, const Packet& p, std::size_t queue,
@@ -177,6 +194,7 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
       metrics_.marks_enqueue->inc();
       metrics_.mark_sojourn->record(0);  // marked on arrival: no queueing yet
     }
+    if (series_enabled_) series_[queue]->on_mark();
     if (observer_ != nullptr) emit(TraceEvent::kMark, ref, queue);
   }
   if (observer_ != nullptr) emit(TraceEvent::kEnqueue, ref, queue);
@@ -210,6 +228,7 @@ void Port::try_transmit() {
       metrics_.marks_dequeue->inc();
       metrics_.mark_sojourn->record(sojourn);
     }
+    if (series_enabled_) series_[q]->on_mark();
     if (observer_ != nullptr) emit(TraceEvent::kMark, *p, q, sojourn);
   }
   if (metrics_.enabled) {
@@ -220,6 +239,7 @@ void Port::try_transmit() {
     }
     last_dequeue_ = sim_.now();
   }
+  if (series_enabled_) series_[q]->on_dequeue(sojourn, p->size);
   if (observer_ != nullptr) emit(TraceEvent::kDequeue, *p, q, sojourn);
 
   ++counters_.tx_packets;

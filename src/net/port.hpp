@@ -24,6 +24,7 @@
 #include "net/scheduler.hpp"
 #include "net/trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/simulator.hpp"
 
 namespace tcn::net {
@@ -157,6 +158,7 @@ class Port {
             sim::Time sojourn = 0);
   void fault_drop(const Packet& p, std::size_t queue);
   void resolve_metrics();
+  void resolve_timeseries();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -181,6 +183,11 @@ class Port {
   std::vector<std::uint64_t> queue_drops_;
   PortObserver* observer_ = nullptr;
   Metrics metrics_;
+  /// Per-queue time-series channels, resolved once at construction from
+  /// obs::TimeSeries::current() -- same null-handle discipline as Metrics.
+  /// Empty (and series_enabled_ false) when no sampler scope is installed.
+  std::vector<obs::TimeSeries::Channel*> series_;
+  bool series_enabled_ = false;
   sim::Time last_dequeue_ = -1;  // -1: no dequeue yet (gap undefined)
 };
 

@@ -97,6 +97,65 @@ std::string metrics_to_json(const MetricsSnapshot& snap, int indent) {
   return w.str();
 }
 
+void write_stability_object(JsonWriter& w, const StabilityResult& r) {
+  w.key("samples").value(r.samples);
+  w.key("oscillation_score").value(r.oscillation_score);
+  w.key("sojourn_cv").value(r.sojourn_cv);
+  w.key("mark_burstiness").value(r.mark_burstiness);
+  w.key("depth_mean_bytes").value(r.depth_mean_bytes);
+  w.key("depth_cv").value(r.depth_cv);
+  w.key("lag1_autocorr").value(r.lag1_autocorr);
+  w.key("bimodality").value(r.bimodality);
+  w.key("regime").value(regime_name(r.regime));
+}
+
+std::uint64_t write_series_jsonl(std::ostream& out, const TimeSeries& ts) {
+  std::uint64_t lines = 0;
+  {
+    JsonWriter w(0);
+    w.begin_object();
+    w.key("schema").value("tcn-series-1");
+    w.key("interval_ns").value(static_cast<std::uint64_t>(
+        ts.config().interval));
+    w.key("max_samples").value(static_cast<std::uint64_t>(
+        ts.config().max_samples));
+    w.key("ticks").value(ts.ticks());
+    w.key("channels").value(static_cast<std::uint64_t>(ts.num_channels()));
+    w.end_object();
+    out << w.str() << '\n';
+    ++lines;
+  }
+  for (const TimeSeries::Channel* ch : ts.sorted_channels()) {
+    JsonWriter w(0);
+    w.begin_object();
+    w.key("channel").value(ch->name());
+    // UINT64_MAX means "unbounded" (host NICs); serialize as 0 so readers
+    // need no sentinel knowledge.
+    w.key("cap_bytes").value(
+        ch->cap_bytes() == UINT64_MAX ? 0 : ch->cap_bytes());
+    w.key("stability").begin_object();
+    write_stability_object(w, ch->analyzer().result(ch->cap_bytes()));
+    w.end_object();
+    w.key("points").begin_array();
+    for (const SeriesPoint& p : ch->points()) {
+      w.begin_array()
+          .value(static_cast<std::uint64_t>(p.t))
+          .value(p.depth_bytes)
+          .value(p.depth_packets)
+          .value(p.deq_packets)
+          .value(p.sojourn_sum_ns)
+          .value(p.marks)
+          .value(p.tx_bytes)
+          .end_array();
+    }
+    w.end_array();
+    w.end_object();
+    out << w.str() << '\n';
+    ++lines;
+  }
+  return lines;
+}
+
 std::ofstream open_output_file(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {

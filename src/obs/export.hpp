@@ -23,6 +23,7 @@
 #include "net/trace.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace tcn::obs {
 
@@ -54,6 +55,18 @@ void write_metrics_object(JsonWriter& w, const MetricsSnapshot& snap);
 
 /// Standalone tcn-metrics-1 document.
 std::string metrics_to_json(const MetricsSnapshot& snap, int indent = 2);
+
+/// Emit a StabilityResult's fields into the writer's currently open object.
+/// Shared by the per-run tcn-bench-1 "stability" record, the tcn-atlas-1
+/// cells and the tcn-series-1 channel lines, so all three serialize the
+/// reduction identically (and byte-identically for any --jobs).
+void write_stability_object(JsonWriter& w, const StabilityResult& r);
+
+/// Write a tcn-series-1 JSONL dump: one header line carrying the sampling
+/// config, then one compact line per channel in name-sorted order with the
+/// channel's stability reduction and its retained ring of SeriesPoints.
+/// Returns the number of lines written (header included).
+std::uint64_t write_series_jsonl(std::ostream& out, const TimeSeries& ts);
 
 /// Write `content` to `path` ("-" = stdout), throwing std::runtime_error
 /// with the path in the message if the file cannot be opened or written

@@ -137,6 +137,33 @@ class LogHistogram {
     return max_;
   }
 
+  /// q in [0, 1]. Like percentile() but interpolates linearly *within* the
+  /// bucket holding the fractional rank q*count instead of returning the
+  /// bucket midpoint -- buckets are log-spaced, so this is the standard
+  /// HDR log-linear quantile estimate, with sub-bucket resolution on
+  /// smooth distributions. Clamped to the exact observed [min, max];
+  /// quantile(0) == min and quantile(1) == max.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return static_cast<double>(min_);
+    if (q >= 1.0) return static_cast<double>(max_);
+    const double rank = q * static_cast<double>(count_);  // in (0, count)
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      const double c = static_cast<double>(counts_[i]);
+      if (c == 0.0) continue;
+      if (seen + c >= rank) {
+        const double lo = static_cast<double>(bucket_floor(i));
+        const double hi = static_cast<double>(bucket_ceil(i));
+        const double v = lo + (rank - seen) / c * (hi - lo);
+        return std::clamp(v, static_cast<double>(min_),
+                          static_cast<double>(max_));
+      }
+      seen += c;
+    }
+    return static_cast<double>(max_);
+  }
+
   /// (bucket_floor, count) for every non-empty bucket, ascending.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets()
       const {

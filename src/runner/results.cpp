@@ -79,6 +79,18 @@ void write_run_object(JsonWriter& w, const RunRecord& r, bool include_timing) {
     w.end_object();
   }
 
+  // Time-series stability reduction; absent unless the run sampled, so
+  // existing documents (and the schema golden) are unchanged. No timing
+  // fields inside: everything is deterministic per config.
+  if (r.report.stability_analyzed) {
+    w.key("stability").begin_object();
+    w.key("channels").value(r.report.series_channels);
+    w.key("ticks").value(r.report.series_ticks);
+    w.key("channel").value(r.report.stability_channel);
+    obs::write_stability_object(w, r.report.stability);
+    w.end_object();
+  }
+
   w.key("flows_started").value(r.report.flows_started);
   w.key("flows_completed").value(r.report.flows_completed);
   w.key("events").value(r.report.events);

@@ -21,6 +21,11 @@
 //        "counters": { "switch_drops", "switch_marks", "fault_drops",
 //                      "pool_fresh", "pool_reused", "pool_recycled",
 //                      "sim_peak_pending", "sim_calendar_resizes" },
+//        "stability"?: { "channels", "ticks", "channel", "samples",
+//                        "oscillation_score", "sojourn_cv",
+//                        "mark_burstiness", "depth_mean_bytes", "depth_cv",
+//                        "lag1_autocorr", "bimodality", "regime" },
+//                                                   // sampled runs only
 //        "flows_started", "flows_completed", "events", "sim_end_s",
 //        "wall_ms", "events_per_sec",               // non-deterministic
 //        "postmortem"?                              // failed runs only

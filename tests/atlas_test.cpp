@@ -1,0 +1,99 @@
+// bench/atlas library contracts: grid expansion order and labels, the
+// per-AQM threshold mapping, and the acceptance property -- the tcn-atlas-1
+// document is byte-identical for any --jobs (it carries no host-timing
+// fields, so this is a plain string comparison, the same cmp CI runs).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "atlas.hpp"
+
+namespace {
+
+using namespace tcn;
+
+bench::AtlasAxes tiny_axes() {
+  bench::AtlasAxes axes;
+  axes.scheds = {{"dwrr", core::SchedKind::kDwrr}};
+  axes.schemes = {{"tcn", core::Scheme::kTcn},
+                  {"codel", core::Scheme::kCodel}};
+  axes.thresholds_us = {256};
+  axes.loads = {0.5};
+  axes.buffer_bytes = {48'000, 96'000};
+  return axes;
+}
+
+core::FctExperiment tiny_base() {
+  auto base = bench::testbed_base();
+  base.num_flows = 40;
+  base.seed = 3;
+  base.timeseries.interval = 100 * sim::kMicrosecond;
+  return base;
+}
+
+TEST(Atlas, ThresholdMapsOntoEveryAqm) {
+  auto cfg = bench::testbed_base();
+  bench::apply_atlas_threshold(cfg, 256.0);
+  EXPECT_EQ(cfg.params.rtt_lambda, 256 * sim::kMicrosecond);
+  // 1 Gbps x 256us / 8 = 32KB -- the paper's testbed K falls out of the
+  // drain-in-T rule, so the default atlas column reproduces it exactly.
+  EXPECT_EQ(cfg.params.red_threshold_bytes, 32'000u);
+  EXPECT_EQ(cfg.params.codel_target, 256 * sim::kMicrosecond / 5);
+  EXPECT_EQ(cfg.params.codel_interval, 4 * 256 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.tcn_tmin, 128 * sim::kMicrosecond);
+  EXPECT_EQ(cfg.params.tcn_tmax, 384 * sim::kMicrosecond);
+  // PIE derives target/update from rtt_lambda when left zero.
+  EXPECT_EQ(cfg.params.pie_target, 0u);
+}
+
+TEST(Atlas, JobGridOrderAndLabels) {
+  const auto axes = tiny_axes();
+  const auto jobs = bench::atlas_jobs(axes, tiny_base());
+  ASSERT_EQ(jobs.size(), 4u);  // 1 sched x 2 schemes x 1 x 1 x 2 buffers
+  // Buffer is the innermost axis, scheme outermore.
+  EXPECT_EQ(jobs[0].label, "tcn/dwrr/t256/l0.5/b48000");
+  EXPECT_EQ(jobs[1].label, "tcn/dwrr/t256/l0.5/b96000");
+  EXPECT_EQ(jobs[2].label, "codel/dwrr/t256/l0.5/b48000");
+  EXPECT_EQ(jobs[3].label, "codel/dwrr/t256/l0.5/b96000");
+  EXPECT_EQ(jobs[0].cfg.star.buffer_bytes, 48'000u);
+  EXPECT_EQ(jobs[1].cfg.star.buffer_bytes, 96'000u);
+  EXPECT_EQ(jobs[2].cfg.scheme, core::Scheme::kCodel);
+  EXPECT_EQ(jobs[0].cfg.sched.kind, core::SchedKind::kDwrr);
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.group, "atlas");
+    EXPECT_TRUE(j.cfg.timeseries.enabled());
+  }
+}
+
+TEST(Atlas, DocumentByteIdenticalForAnyJobs) {
+  const auto axes = tiny_axes();
+  const auto base = tiny_base();
+
+  runner::SweepOptions one;
+  one.jobs = 1;
+  const auto res1 = runner::run_jobs(bench::atlas_jobs(axes, base), one);
+  ASSERT_TRUE(res1.ok());
+
+  runner::SweepOptions two;
+  two.jobs = 2;
+  const auto res2 = runner::run_jobs(bench::atlas_jobs(axes, base), two);
+  ASSERT_TRUE(res2.ok());
+
+  const std::string doc1 = bench::atlas_to_json(axes, res1, 40, 3, 100.0);
+  const std::string doc2 = bench::atlas_to_json(axes, res2, 40, 3, 100.0);
+  EXPECT_EQ(doc1, doc2);
+
+  EXPECT_NE(doc1.find("\"schema\": \"tcn-atlas-1\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"regime\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"oscillation_score\""), std::string::npos);
+  EXPECT_NE(doc1.find("\"scheme\": \"tcn\""), std::string::npos)
+      << "cell axes must be recoverable from the document";
+  EXPECT_NE(doc1.find("\"buffer_bytes\": 48000"), std::string::npos);
+  // No host-timing fields anywhere -- the byte-compare above is only
+  // meaningful if nothing machine-dependent leaks in.
+  EXPECT_EQ(doc1.find("\"wall_ms\""), std::string::npos);
+  EXPECT_EQ(doc1.find("\"events_per_sec\""), std::string::npos);
+  EXPECT_EQ(doc1.find("\"jobs\""), std::string::npos);
+}
+
+}  // namespace

@@ -147,6 +147,13 @@ int main(int argc, char** argv) {
           "--trace-out: single-run only (a sweep would interleave every "
           "run's events into one file); drop --loads/--seeds/--json");
     }
+    if (!cfg.series_out.empty()) {
+      throw std::invalid_argument(
+          "--series-out: single-run only (every run would overwrite the "
+          "same file); drop --loads/--seeds/--json, or use "
+          "--sample-interval-us alone -- the stability reduction rides the "
+          "sweep JSON per run");
+    }
 
     tcn::runner::SweepSpec spec;
     spec.name = "tcnsim";
