@@ -46,6 +46,8 @@ core::SchedKind sched_from_token(const std::string& t) {
   if (t == "sp-dwrr") return core::SchedKind::kSpDwrr;
   if (t == "sp-wfq") return core::SchedKind::kSpWfq;
   if (t == "pifo") return core::SchedKind::kPifoStfq;
+  if (t == "sp-pifo") return core::SchedKind::kSpPifo;
+  if (t == "aifo") return core::SchedKind::kAifo;
   std::fprintf(stderr, "--scheds: unknown scheduler '%s'\n", t.c_str());
   std::exit(2);
 }
@@ -73,7 +75,8 @@ void usage(const char* argv0) {
       "                           red-port red-dequeue pie ideal-rate none\n"
       "                           (default tcn,codel,red,pie)\n"
       "  --scheds s1,s2,...       schedulers: fifo sp dwrr wrr wfq sp-dwrr\n"
-      "                           sp-wfq pifo (default dwrr,wfq)\n"
+      "                           sp-wfq pifo sp-pifo aifo\n"
+      "                           (default dwrr,wfq,sp-pifo,aifo)\n"
       "  --thresholds-us t1,...   marking threshold axis T in us; every AQM\n"
       "                           gets T mapped to its native knob\n"
       "                           (default 64,256,1024)\n"

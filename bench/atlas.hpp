@@ -43,7 +43,10 @@ struct AtlasAxes {
 /// bracket the 96KB testbed buffer down into the Tiny-Buffer corner.
 inline AtlasAxes default_atlas_axes() {
   AtlasAxes a;
-  a.scheds = {{"dwrr", core::SchedKind::kDwrr}, {"wfq", core::SchedKind::kWfq}};
+  a.scheds = {{"dwrr", core::SchedKind::kDwrr},
+              {"wfq", core::SchedKind::kWfq},
+              {"sp-pifo", core::SchedKind::kSpPifo},
+              {"aifo", core::SchedKind::kAifo}};
   a.schemes = {{"TCN", core::Scheme::kTcn},
                {"CoDel", core::Scheme::kCodel},
                {"RED", core::Scheme::kRedPerQueue},

@@ -5,6 +5,9 @@
 // once.
 #pragma once
 
+#include <algorithm>
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -85,6 +88,69 @@ inline FigureDef fig09() {
                  {"CoDel", core::Scheme::kCodel},
                  {"RED-queue", core::Scheme::kRedPerQueue}};
   return def;
+}
+
+namespace detail {
+/// Re-run a testbed figure under an approximate rank scheduler (SP-PIFO or
+/// AIFO). MQ-ECN is dropped from the scheme list when present: rank
+/// schedulers have no rounds to measure. PIAS figures keep the priority
+/// rank program the CLI would select (rank = queue index, queue 0 strict).
+inline FigureDef rank_variant(FigureDef def, const char* suffix,
+                              const char* sched_label,
+                              core::SchedKind kind) {
+  // Deques: push_back never moves earlier strings, so the c_str() pointers
+  // handed to FigureDef stay valid for the life of the program.
+  static std::deque<std::string> names;
+  names.push_back(std::string(def.name) + "-" + suffix);
+  def.name = names.back().c_str();
+  static std::deque<std::string> titles;
+  titles.push_back(std::string(def.title) + " [" + sched_label + "]");
+  def.title = titles.back().c_str();
+  def.base.sched.kind = kind;
+  if (def.base.pias) {
+    def.base.sched.rank = core::RankProgram::kPriority;
+    def.base.sched.num_sp = 1;
+  }
+  std::erase_if(def.schemes, [](const SchemeRun& s) {
+    return s.scheme == core::Scheme::kMqEcn;
+  });
+  return def;
+}
+}  // namespace detail
+
+/// Figs. 6-9 re-run over the approximate rank schedulers: the paper's
+/// scheduler-agnosticism claim extended to SP-PIFO and AIFO columns.
+inline FigureDef fig06_sp_pifo() {
+  return detail::rank_variant(fig06(), "sp-pifo", "SP-PIFO x8 levels",
+                              core::SchedKind::kSpPifo);
+}
+inline FigureDef fig06_aifo() {
+  return detail::rank_variant(fig06(), "aifo", "AIFO W=128 k=0.1",
+                              core::SchedKind::kAifo);
+}
+inline FigureDef fig07_sp_pifo() {
+  return detail::rank_variant(fig07(), "sp-pifo", "SP-PIFO x8 levels",
+                              core::SchedKind::kSpPifo);
+}
+inline FigureDef fig07_aifo() {
+  return detail::rank_variant(fig07(), "aifo", "AIFO W=128 k=0.1",
+                              core::SchedKind::kAifo);
+}
+inline FigureDef fig08_sp_pifo() {
+  return detail::rank_variant(fig08(), "sp-pifo", "SP-PIFO + PIAS ranks",
+                              core::SchedKind::kSpPifo);
+}
+inline FigureDef fig08_aifo() {
+  return detail::rank_variant(fig08(), "aifo", "AIFO + PIAS ranks",
+                              core::SchedKind::kAifo);
+}
+inline FigureDef fig09_sp_pifo() {
+  return detail::rank_variant(fig09(), "sp-pifo", "SP-PIFO + PIAS ranks",
+                              core::SchedKind::kSpPifo);
+}
+inline FigureDef fig09_aifo() {
+  return detail::rank_variant(fig09(), "aifo", "AIFO + PIAS ranks",
+                              core::SchedKind::kAifo);
 }
 
 namespace detail {
@@ -171,10 +237,14 @@ inline FigureDef fig13() {
   return def;
 }
 
-/// Every FCT-sweep figure, in paper order -- the suite binary's work list.
+/// Every FCT-sweep figure, in paper order, then the approximate-rank
+/// scheduler variants of the testbed figures -- the suite binary's work
+/// list.
 inline std::vector<FigureDef> figure_suite() {
-  return {fig06(), fig07(), fig08(), fig09(),
-          fig10(), fig11(), fig12(), fig13()};
+  return {fig06(),         fig07(),       fig08(),         fig09(),
+          fig10(),         fig11(),       fig12(),         fig13(),
+          fig06_sp_pifo(), fig06_aifo(),  fig07_sp_pifo(), fig07_aifo(),
+          fig08_sp_pifo(), fig08_aifo(),  fig09_sp_pifo(), fig09_aifo()};
 }
 
 /// Run one figure standalone (the fig* binaries' main).

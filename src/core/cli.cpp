@@ -73,9 +73,44 @@ SchedKind parse_sched(const std::string& name) {
   if (name == "sp-dwrr") return SchedKind::kSpDwrr;
   if (name == "sp-wfq") return SchedKind::kSpWfq;
   if (name == "pifo") return SchedKind::kPifoStfq;
+  if (name == "sp-pifo") return SchedKind::kSpPifo;
+  if (name == "aifo") return SchedKind::kAifo;
   throw std::invalid_argument(
       "unknown scheduler '" + name +
-      "' (fifo, sp, dwrr, wrr, wfq, sp-dwrr, sp-wfq, pifo)");
+      "' (fifo, sp, dwrr, wrr, wfq, sp-dwrr, sp-wfq, pifo, sp-pifo, aifo)");
+}
+
+void parse_sched_spec(const std::string& spec, SchedConfig& sched) {
+  const std::size_t colon = spec.find(':');
+  sched.kind = parse_sched(spec.substr(0, colon));
+  if (colon == std::string::npos) return;
+  const std::string params = spec.substr(colon + 1);
+  if (sched.kind == SchedKind::kSpPifo) {
+    // sp-pifo:<levels> -- the number of strict-priority levels.
+    sched.sp_pifo_levels = to_u64("--sched sp-pifo:<levels>", params);
+    if (sched.sp_pifo_levels < 2) {
+      throw std::invalid_argument("--sched sp-pifo: levels must be >= 2");
+    }
+  } else if (sched.kind == SchedKind::kAifo) {
+    // aifo:<window>,<k> -- both required when parameters are given.
+    const std::size_t comma = params.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument(
+          "--sched aifo: expected aifo:<window>,<k>");
+    }
+    sched.aifo_window =
+        to_u64("--sched aifo:<window>", params.substr(0, comma));
+    if (sched.aifo_window < 1) {
+      throw std::invalid_argument("--sched aifo: window must be >= 1");
+    }
+    sched.aifo_k = to_double("--sched aifo:<k>", params.substr(comma + 1));
+    if (!(sched.aifo_k >= 0.0 && sched.aifo_k < 1.0)) {
+      throw std::invalid_argument("--sched aifo: k must be in [0, 1)");
+    }
+  } else {
+    throw std::invalid_argument("--sched: '" + spec.substr(0, colon) +
+                                "' takes no parameters");
+  }
 }
 
 workload::Kind parse_workload(const std::string& name) {
@@ -99,7 +134,9 @@ topology:
   --hosts N                   star host count (default 9)
 scheme / scheduler:
   --scheme tcn|tcn-prob|codel|mq-ecn|red|red-port|red-dequeue|pie|ideal-rate|none
-  --sched fifo|sp|dwrr|wrr|wfq|sp-dwrr|sp-wfq|pifo
+  --sched fifo|sp|dwrr|wrr|wfq|sp-dwrr|sp-wfq|pifo|sp-pifo[:levels]|aifo[:window,k]
+                              (sp-pifo: strict-priority levels, default 8;
+                               aifo: rank window and headroom k, default 128,0.1)
   --rtt-lambda-us T           TCN threshold / dynamic-threshold time (default:
                               256 star, 78 leafspine)
   --red-k-bytes K             static RED threshold (default: 32000 / 97500)
@@ -245,7 +282,7 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--scheme") {
       cfg.scheme = parse_scheme(value());
     } else if (flag == "--sched") {
-      cfg.sched.kind = parse_sched(value());
+      parse_sched_spec(value(), cfg.sched);
     } else if (flag == "--rtt-lambda-us") {
       cfg.params.rtt_lambda =
           static_cast<sim::Time>(to_double(flag, value()) * sim::kMicrosecond);
@@ -407,6 +444,14 @@ FctExperiment parse_cli(const std::vector<std::string>& args) {
     // PIAS needs a strict queue: upgrade to the hybrid automatically.
     cfg.sched.kind = cfg.sched.kind == SchedKind::kDwrr ? SchedKind::kSpDwrr
                                                         : SchedKind::kSpWfq;
+    cfg.sched.num_sp = 1;
+  }
+  if (cfg.pias && (cfg.sched.kind == SchedKind::kSpPifo ||
+                   cfg.sched.kind == SchedKind::kAifo)) {
+    // The rank-based approximations express PIAS's strict queue through the
+    // priority rank program (rank = queue index, so the reserved queue 0
+    // outranks everything); the experiment reserves num_sp queues for it.
+    cfg.sched.rank = RankProgram::kPriority;
     cfg.sched.num_sp = 1;
   }
   return cfg;

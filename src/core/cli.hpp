@@ -20,6 +20,10 @@ std::string cli_usage();
 /// Parse helpers exposed for reuse/testing.
 Scheme parse_scheme(const std::string& name);
 SchedKind parse_sched(const std::string& name);
+/// Full --sched grammar: a scheduler name with optional parameters --
+/// `sp-pifo[:levels]` and `aifo[:window,k]`; every other name takes none.
+/// Fills `sched` (kind + parameters) or throws std::invalid_argument.
+void parse_sched_spec(const std::string& spec, SchedConfig& sched);
 workload::Kind parse_workload(const std::string& name);
 
 /// Render a report the way the tool prints it.

@@ -104,7 +104,16 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
     trace_writer.emplace(trace_file);
   }
 
-  const std::size_t num_sp = is_hybrid(cfg.sched.kind) ? cfg.sched.num_sp : 0;
+  // Hybrids reserve num_sp strict queues ahead of the service queues; the
+  // rank-based approximations do the same when running the priority rank
+  // program (PIAS mode: queue 0 outranks all service queues by rank).
+  const bool rank_priority =
+      (cfg.sched.kind == SchedKind::kSpPifo ||
+       cfg.sched.kind == SchedKind::kAifo) &&
+      cfg.sched.rank == RankProgram::kPriority;
+  const std::size_t num_sp = is_hybrid(cfg.sched.kind) || rank_priority
+                                 ? cfg.sched.num_sp
+                                 : 0;
   const std::size_t num_service_queues =
       cfg.num_service_queues > 0 ? cfg.num_service_queues : cfg.num_services;
 
@@ -349,6 +358,7 @@ FctReport run_fct_experiment(const FctExperiment& cfg) {
       report.switch_drops += sw.port(p).counters().drops;
       report.switch_marks += sw.port(p).counters().marks;
       report.fault_drops += sw.port(p).counters().fault_drops;
+      report.sched_drops += sw.port(p).counters().sched_drops;
     }
   }
   for (std::size_t h = 0; h < network.num_hosts(); ++h) {

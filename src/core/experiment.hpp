@@ -174,6 +174,10 @@ struct FctReport {
   /// summed over every switch port and host NIC -- reported separately from
   /// buffer drops so fault scenarios stay diagnosable.
   std::uint64_t fault_drops = 0;
+  /// Packets rejected by scheduler admission control (AIFO's quantile gate),
+  /// summed over every switch port -- a scheduling decision, reported apart
+  /// from both buffer and fault drops.
+  std::uint64_t sched_drops = 0;
   std::uint64_t events = 0;
   sim::Time sim_end = 0;
 

@@ -10,14 +10,33 @@
 #include "aqm/red_ecn.hpp"
 #include "aqm/tcn.hpp"
 #include "net/fifo_scheduler.hpp"
+#include "sched/aifo.hpp"
 #include "sched/dwrr.hpp"
 #include "sched/pifo.hpp"
+#include "sched/rank.hpp"
+#include "sched/sp_pifo.hpp"
 #include "sched/sp.hpp"
 #include "sched/sp_hybrid.hpp"
 #include "sched/wfq.hpp"
 #include "sched/wrr.hpp"
 
 namespace tcn::core {
+
+namespace {
+
+/// Rank program for the approximate rank schedulers, per SchedConfig::rank.
+sched::RankProgram make_rank_program(const SchedConfig& cfg) {
+  switch (cfg.rank) {
+    case RankProgram::kStfq:
+      return sched::stfq_rank_program(
+          std::vector<double>(cfg.num_queues, 1.0));
+    case RankProgram::kPriority:
+      return sched::priority_rank_program();
+  }
+  throw std::invalid_argument("make_rank_program: bad rank program");
+}
+
+}  // namespace
 
 topo::SchedulerFactory make_scheduler_factory(const SchedConfig& cfg) {
   if (cfg.num_queues == 0) {
@@ -69,6 +88,26 @@ topo::SchedulerFactory make_scheduler_factory(const SchedConfig& cfg) {
         return std::make_unique<sched::PifoScheduler>(
             sched::PifoScheduler::stfq_program(
                 std::vector<double>(cfg.num_queues, 1.0)));
+      };
+    case SchedKind::kSpPifo:
+      if (cfg.sp_pifo_levels < 2) {
+        throw std::invalid_argument(
+            "SchedConfig: sp_pifo_levels must be >= 2");
+      }
+      return [cfg] {
+        return std::make_unique<sched::SpPifoScheduler>(cfg.sp_pifo_levels,
+                                                        make_rank_program(cfg));
+      };
+    case SchedKind::kAifo:
+      if (cfg.aifo_window < 1) {
+        throw std::invalid_argument("SchedConfig: aifo_window must be >= 1");
+      }
+      if (!(cfg.aifo_k >= 0.0 && cfg.aifo_k < 1.0)) {
+        throw std::invalid_argument("SchedConfig: aifo_k must be in [0, 1)");
+      }
+      return [cfg] {
+        return std::make_unique<sched::AifoScheduler>(
+            cfg.aifo_window, cfg.aifo_k, make_rank_program(cfg));
       };
   }
   throw std::invalid_argument("make_scheduler_factory: bad kind");
@@ -169,6 +208,8 @@ std::string sched_name(SchedKind k) {
     case SchedKind::kSpDwrr: return "SP/DWRR";
     case SchedKind::kSpWfq: return "SP/WFQ";
     case SchedKind::kPifoStfq: return "PIFO-STFQ";
+    case SchedKind::kSpPifo: return "SP-PIFO";
+    case SchedKind::kAifo: return "AIFO";
   }
   return "?";
 }

@@ -36,6 +36,14 @@ enum class SchedKind {
   kSpDwrr,  ///< num_sp strict queues over DWRR
   kSpWfq,   ///< num_sp strict queues over WFQ
   kPifoStfq,  ///< PIFO running an STFQ rank program
+  kSpPifo,    ///< SP-PIFO approximation of the PIFO (NSDI 2020)
+  kAifo,      ///< AIFO: single FIFO + quantile admission (SIGCOMM 2021)
+};
+
+/// Rank program driving the rank-based kinds (kPifoStfq, kSpPifo, kAifo).
+enum class RankProgram {
+  kStfq,      ///< start-time fair queueing over equal weights (default)
+  kPriority,  ///< rank = queue index (strict-priority analog; PIAS mode)
 };
 
 struct SchedConfig {
@@ -44,6 +52,11 @@ struct SchedConfig {
   std::size_t num_sp = 1;         ///< strict queues in hybrid kinds
   std::uint64_t quantum = 1'500;  ///< DWRR per-round bytes (equal quanta)
   double mq_ecn_beta = 0.75;      ///< round-time EWMA for MQ-ECN
+  /// Rank program for kSpPifo / kAifo (kPifoStfq is STFQ by definition).
+  RankProgram rank = RankProgram::kStfq;
+  std::size_t sp_pifo_levels = 8;  ///< strict-priority levels for kSpPifo
+  std::size_t aifo_window = 128;   ///< AIFO rank-sample window W
+  double aifo_k = 0.1;             ///< AIFO headroom parameter, in [0, 1)
 };
 
 struct SchemeParams {

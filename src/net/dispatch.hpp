@@ -28,9 +28,11 @@
 #include <variant>
 
 namespace tcn::sched {
+class AifoScheduler;
 class DwrrScheduler;
 class PifoScheduler;
 class SpHybridScheduler;
+class SpPifoScheduler;
 class SpScheduler;
 class WfqScheduler;
 class WrrScheduler;
@@ -64,7 +66,9 @@ using SchedulerVariant = std::variant<Scheduler*,            //
                                       sched::WrrScheduler*,  //
                                       sched::WfqScheduler*,  //
                                       sched::SpHybridScheduler*,
-                                      sched::PifoScheduler*>;
+                                      sched::PifoScheduler*,
+                                      sched::SpPifoScheduler*,
+                                      sched::AifoScheduler*>;
 
 /// One alternative per concrete marker; Marker* (first) is the fallback.
 using MarkerVariant = std::variant<Marker*,                         //

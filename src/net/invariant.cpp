@@ -59,6 +59,7 @@ void InvariantChecker::on_event(const TraceRecord& rec) {
       break;
     case TraceEvent::kDrop:
     case TraceEvent::kFaultDrop:
+    case TraceEvent::kSchedDrop:
       // Rejected before admission: occupancy must be unchanged.
       break;
     case TraceEvent::kMark:

@@ -18,8 +18,10 @@
 #include "aqm/red_prob.hpp"
 #include "aqm/tcn.hpp"
 #include "net/fifo_scheduler.hpp"
+#include "sched/aifo.hpp"
 #include "sched/dwrr.hpp"
 #include "sched/pifo.hpp"
+#include "sched/sp_pifo.hpp"
 #include "sched/sp.hpp"
 #include "sched/sp_hybrid.hpp"
 #include "sched/wfq.hpp"
@@ -88,6 +90,7 @@ void Port::resolve_metrics() {
   }
   metrics_.drops_buffer = &reg->counter(base + "drops.buffer");
   metrics_.drops_fault = &reg->counter(base + "drops.fault");
+  metrics_.drops_sched = &reg->counter(base + "drops.sched");
   metrics_.marks_enqueue = &reg->counter(base + "marks.enqueue");
   metrics_.marks_dequeue = &reg->counter(base + "marks.dequeue");
   metrics_.mark_sojourn = &reg->histogram(base + "mark_sojourn_ns");
@@ -167,6 +170,21 @@ void Port::enqueue(PacketPtr p, std::size_t queue) {
       metrics_.q_drop[queue]->inc();
     }
     if (observer_ != nullptr) emit(TraceEvent::kDrop, *p, queue);
+    return;  // packet destroyed
+  }
+  // Scheduler admission control (e.g. AIFO): a rejection here is a
+  // *scheduling* decision, accounted apart from buffer and fault drops, and
+  // invisible to the marker (the packet never enters a queue).
+  const bool admitted = std::visit(
+      [&](auto* s) {
+        return s->admit(queue, *p, sim_.now(), total_bytes_, buffer_limit_);
+      },
+      sched_v_);
+  if (!admitted) {
+    ++counters_.sched_drops;
+    counters_.sched_drop_bytes += p->size;
+    if (metrics_.enabled) metrics_.drops_sched->inc();
+    if (observer_ != nullptr) emit(TraceEvent::kSchedDrop, *p, queue);
     return;  // packet destroyed
   }
   p->enqueue_ts = sim_.now();

@@ -100,6 +100,11 @@ class Port {
     /// reported separately from buffer drops.
     std::uint64_t fault_drops = 0;
     std::uint64_t fault_drop_bytes = 0;
+    /// Packets rejected by the scheduler's admission control (e.g. AIFO's
+    /// rank-quantile gate) -- a scheduling decision, not buffer pressure or
+    /// AQM behaviour, so accounted separately from both.
+    std::uint64_t sched_drops = 0;
+    std::uint64_t sched_drop_bytes = 0;
   };
 
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
@@ -147,6 +152,7 @@ class Port {
     std::vector<obs::LogHistogram*> q_sojourn;
     obs::Counter* drops_buffer = nullptr;
     obs::Counter* drops_fault = nullptr;
+    obs::Counter* drops_sched = nullptr;
     obs::Counter* marks_enqueue = nullptr;
     obs::Counter* marks_dequeue = nullptr;
     obs::LogHistogram* mark_sojourn = nullptr;

@@ -37,6 +37,23 @@ class Scheduler {
     link_rate_bps_ = link_rate_bps;
   }
 
+  /// Admission control, consulted by the Port after the shared-buffer
+  /// tail-drop check and before any enqueue accounting. Returning false
+  /// rejects the packet: the port counts it as a *scheduler* drop (distinct
+  /// from buffer and fault drops) and neither on_enqueue nor the marker
+  /// sees it. `port_bytes` is the port's occupancy before this packet;
+  /// `buffer_limit` is the shared-buffer capacity (UINT64_MAX = unlimited).
+  /// Default: admit everything (work-conserving schedulers never drop).
+  virtual bool admit(std::size_t q, const Packet& p, sim::Time now,
+                     std::uint64_t port_bytes, std::uint64_t buffer_limit) {
+    (void)q;
+    (void)p;
+    (void)now;
+    (void)port_bytes;
+    (void)buffer_limit;
+    return true;
+  }
+
   /// A packet was appended to queue `q` (already counted in the queue).
   virtual void on_enqueue(std::size_t q, const Packet& p, sim::Time now) = 0;
 

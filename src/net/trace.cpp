@@ -9,6 +9,7 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kDrop: return "drop";
     case TraceEvent::kMark: return "mark";
     case TraceEvent::kFaultDrop: return "fdrop";
+    case TraceEvent::kSchedDrop: return "sdrop";
   }
   return "?";
 }

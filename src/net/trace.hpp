@@ -21,6 +21,7 @@ enum class TraceEvent : std::uint8_t {
   kDrop,       ///< packet rejected by the shared buffer
   kMark,       ///< CE applied (fires in addition to kEnqueue/kDequeue)
   kFaultDrop,  ///< packet blackholed by an injected fault (link down / loss)
+  kSchedDrop,  ///< packet rejected by scheduler admission control (AIFO)
 };
 
 std::string_view trace_event_name(TraceEvent e);

@@ -57,6 +57,7 @@ void write_run_object(JsonWriter& w, const RunRecord& r, bool include_timing) {
   w.key("switch_drops").value(r.report.switch_drops);
   w.key("switch_marks").value(r.report.switch_marks);
   w.key("fault_drops").value(r.report.fault_drops);
+  w.key("sched_drops").value(r.report.sched_drops);
   w.key("pool_fresh").value(r.report.pool_fresh);
   w.key("pool_reused").value(r.report.pool_reused);
   w.key("pool_recycled").value(r.report.pool_recycled);

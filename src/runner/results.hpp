@@ -19,8 +19,9 @@
 //                 "p99_small_us", "large_count", "avg_large_us",
 //                 "timeouts", "small_timeouts" },
 //        "counters": { "switch_drops", "switch_marks", "fault_drops",
-//                      "pool_fresh", "pool_reused", "pool_recycled",
-//                      "sim_peak_pending", "sim_calendar_resizes" },
+//                      "sched_drops", "pool_fresh", "pool_reused",
+//                      "pool_recycled", "sim_peak_pending",
+//                      "sim_calendar_resizes" },
 //        "stability"?: { "channels", "ticks", "channel", "samples",
 //                        "oscillation_score", "sojourn_cv",
 //                        "mark_burstiness", "depth_mean_bytes", "depth_cv",

@@ -1,0 +1,94 @@
+#include "sched/aifo.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tcn::sched {
+
+AifoScheduler::AifoScheduler(std::size_t window, double k,
+                             sched::RankProgram rank)
+    : rank_(std::move(rank)), k_(k) {
+  if (window < 1) {
+    throw std::invalid_argument("AifoScheduler: window must be >= 1");
+  }
+  if (!(k >= 0.0 && k < 1.0)) {
+    throw std::invalid_argument("AifoScheduler: k must be in [0, 1)");
+  }
+  if (!rank_.rank) {
+    throw std::invalid_argument("AifoScheduler: rank fn required");
+  }
+  window_.assign(window, 0);
+}
+
+void AifoScheduler::bind(const std::vector<net::PacketQueue>* queues,
+                         std::uint64_t link_rate_bps) {
+  Scheduler::bind(queues, link_rate_bps);
+  entries_.resize(queues->size());
+}
+
+double AifoScheduler::rank_quantile(std::int64_t rank) const {
+  if (window_count_ == 0) return 0.0;
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < window_count_; ++i) {
+    if (window_[i] < rank) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(window_count_);
+}
+
+bool AifoScheduler::would_admit(std::int64_t rank, std::uint64_t occupancy,
+                                std::uint64_t capacity) const {
+  if (capacity == 0) return false;
+  if (occupancy >= capacity) return false;
+  const double headroom = static_cast<double>(capacity - occupancy) /
+                          static_cast<double>(capacity);
+  return headroom / (1.0 - k_) >= rank_quantile(rank);
+}
+
+bool AifoScheduler::admit(std::size_t q, const net::Packet& p, sim::Time now,
+                          std::uint64_t port_bytes,
+                          std::uint64_t buffer_limit) {
+  // Rank programs are sampled once per *arrival*, admitted or not: the
+  // window must track the offered rank distribution, and stateful programs
+  // (STFQ virtual times) advance deterministically either way.
+  const std::int64_t r = rank_.rank(p, q, now);
+  const bool ok = would_admit(r, port_bytes, buffer_limit);
+  // Insert after the decision: a packet does not gate on its own sample.
+  window_[window_head_] = r;
+  window_head_ = (window_head_ + 1) % window_.size();
+  if (window_count_ < window_.size()) ++window_count_;
+  pending_rank_ = r;
+  if (ok) {
+    ++admitted_;
+  } else {
+    ++rejected_;
+  }
+  return ok;
+}
+
+void AifoScheduler::on_enqueue(std::size_t q, const net::Packet&, sim::Time) {
+  entries_[q].push_back({arrivals_++, pending_rank_});
+}
+
+std::size_t AifoScheduler::select(sim::Time) {
+  std::size_t best = SIZE_MAX;
+  std::uint64_t best_seq = 0;
+  for (std::size_t q = 0; q < entries_.size(); ++q) {
+    if (entries_[q].empty()) continue;
+    const std::uint64_t seq = entries_[q].front().seq;
+    if (best == SIZE_MAX || seq < best_seq) {
+      best = q;
+      best_seq = seq;
+    }
+  }
+  assert(best != SIZE_MAX);
+  return best;
+}
+
+void AifoScheduler::on_dequeue(std::size_t q, const net::Packet&, sim::Time) {
+  assert(!entries_[q].empty());
+  if (rank_.on_service) rank_.on_service(entries_[q].front().rank);
+  entries_[q].pop_front();
+}
+
+}  // namespace tcn::sched

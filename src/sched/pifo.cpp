@@ -7,8 +7,10 @@
 
 namespace tcn::sched {
 
-PifoScheduler::PifoScheduler(RankFn rank) : rank_(std::move(rank)) {
-  if (!rank_) throw std::invalid_argument("PifoScheduler: rank fn required");
+PifoScheduler::PifoScheduler(sched::RankProgram rank) : rank_(std::move(rank)) {
+  if (!rank_.rank) {
+    throw std::invalid_argument("PifoScheduler: rank fn required");
+  }
 }
 
 void PifoScheduler::bind(const std::vector<net::PacketQueue>* queues,
@@ -19,7 +21,7 @@ void PifoScheduler::bind(const std::vector<net::PacketQueue>* queues,
 
 void PifoScheduler::on_enqueue(std::size_t q, const net::Packet& p,
                                sim::Time now) {
-  ranks_[q].push_back(rank_(p, q, now));
+  ranks_[q].push_back(rank_.rank(p, q, now));
 }
 
 std::size_t PifoScheduler::select(sim::Time) {
@@ -39,33 +41,16 @@ std::size_t PifoScheduler::select(sim::Time) {
 
 void PifoScheduler::on_dequeue(std::size_t q, const net::Packet&, sim::Time) {
   assert(!ranks_[q].empty());
+  if (rank_.on_service) rank_.on_service(ranks_[q].front());
   ranks_[q].pop_front();
 }
 
-PifoScheduler::RankFn PifoScheduler::stfq_program(std::vector<double> weights) {
-  // Shared mutable state lives in the closure; one program per scheduler.
-  struct State {
-    std::vector<double> weights;
-    std::vector<double> last_finish;
-    double vtime = 0.0;
-  };
-  auto st = std::make_shared<State>();
-  st->weights = std::move(weights);
-  st->last_finish.assign(st->weights.size(), 0.0);
-  return [st](const net::Packet& p, std::size_t q, sim::Time) -> std::int64_t {
-    if (q >= st->weights.size()) q = st->weights.size() - 1;
-    const double start = std::max(st->vtime, st->last_finish[q]);
-    st->last_finish[q] =
-        start + static_cast<double>(p.size) / st->weights[q];
-    st->vtime = start;  // STFQ advances virtual time to the start tag
-    return static_cast<std::int64_t>(start);
-  };
+sched::RankProgram PifoScheduler::stfq_program(std::vector<double> weights) {
+  return stfq_rank_program(std::move(weights));
 }
 
 PifoScheduler::RankFn PifoScheduler::priority_program() {
-  return [](const net::Packet&, std::size_t q, sim::Time) {
-    return static_cast<std::int64_t>(q);
-  };
+  return priority_rank_program();
 }
 
 }  // namespace tcn::sched

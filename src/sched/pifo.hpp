@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/scheduler.hpp"
+#include "sched/rank.hpp"
 
 namespace tcn::sched {
 
@@ -26,12 +27,10 @@ class PifoScheduler final : public net::Scheduler {
     return this;
   }
 
-  /// Computes the rank of a packet at enqueue time.
-  using RankFn =
-      std::function<std::int64_t(const net::Packet&, std::size_t queue,
-                                 sim::Time now)>;
+  /// Computes the rank of a packet at enqueue time (see sched/rank.hpp).
+  using RankFn = sched::RankFn;
 
-  explicit PifoScheduler(RankFn rank);
+  explicit PifoScheduler(sched::RankProgram rank);
 
   void bind(const std::vector<net::PacketQueue>* queues,
             std::uint64_t link_rate_bps) override;
@@ -44,13 +43,13 @@ class PifoScheduler final : public net::Scheduler {
 
   /// An STFQ (start-time fair queueing) rank program over per-queue weights:
   /// rank = virtual start time; approximates WFQ through a PIFO.
-  static RankFn stfq_program(std::vector<double> weights);
+  static sched::RankProgram stfq_program(std::vector<double> weights);
 
   /// Strict-priority rank program: rank = queue index.
   static RankFn priority_program();
 
  private:
-  RankFn rank_;
+  sched::RankProgram rank_;
   std::vector<std::deque<std::int64_t>> ranks_;  // parallel to queues
 };
 

@@ -1,0 +1,96 @@
+// Rank programs shared by every rank-based scheduler (the exact PIFO and
+// its deployable approximations SP-PIFO / AIFO).
+//
+// A rank program assigns each packet an integer rank at enqueue time; lower
+// ranks should depart first. Programs may keep mutable state in their
+// closure (virtual times, per-queue finish tags) -- one program instance per
+// scheduler, never shared across ports.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tcn::sched {
+
+/// Computes the rank of a packet at enqueue time.
+using RankFn = std::function<std::int64_t(const net::Packet&, std::size_t queue,
+                                          sim::Time now)>;
+
+/// A rank program: the enqueue-time rank function plus optional service
+/// feedback. Self-clocked programs (STFQ) must advance their virtual time
+/// from departures, not arrivals: an arrival-only clock lets a queue that
+/// went quiet bank credit for its idle period and then starve the busy
+/// queues -- exactly the pitfall the SCFQ clock in sched/wfq.cpp avoids by
+/// reading the tag of the packet entering service. Stateless programs
+/// (priorities, precomputed test ranks) leave `on_service` null.
+struct RankProgram {
+  RankProgram() = default;
+  // Implicit from any rank callable (lambdas, RankFn) so stateless
+  // programs read as plain functions at scheduler construction sites.
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<
+                std::int64_t, F&, const net::Packet&, std::size_t, sim::Time>>>
+  RankProgram(F&& fn)  // NOLINT(google-explicit-constructor)
+      : rank(std::forward<F>(fn)) {}
+  RankProgram(RankFn fn, std::function<void(std::int64_t)> service)
+      : rank(std::move(fn)), on_service(std::move(service)) {}
+
+  RankFn rank;
+  /// Called by the scheduler with the departing packet's rank as it enters
+  /// service (once per dequeue). May be null.
+  std::function<void(std::int64_t)> on_service;
+};
+
+/// An STFQ (start-time fair queueing) rank program over per-queue weights:
+/// rank = virtual start time; approximates WFQ through a rank scheduler.
+/// Ranks are non-decreasing within a queue, so the exact PIFO's head-packet
+/// dequeue schedules this program without error.
+///
+/// Self-clocked: the system virtual time is the start tag of the packet in
+/// service (Goyal et al.), fed back through RankProgram::on_service. A
+/// queue consuming more than its share runs ahead of the clock (high rank:
+/// AIFO sheds it first, SP-PIFO pushes it up); a queue that went idle
+/// re-enters at the clock instead of a stale tag, with no credit banked
+/// for its idle period.
+inline RankProgram stfq_rank_program(std::vector<double> weights) {
+  // Shared mutable state lives in the closures; one program per scheduler.
+  struct State {
+    std::vector<double> weights;
+    std::vector<double> last_finish;
+    double vtime = 0.0;
+  };
+  auto st = std::make_shared<State>();
+  st->weights = std::move(weights);
+  st->last_finish.assign(st->weights.size(), 0.0);
+  RankFn rank = [st](const net::Packet& p, std::size_t q,
+                     sim::Time) -> std::int64_t {
+    if (q >= st->weights.size()) q = st->weights.size() - 1;
+    const double start = std::max(st->vtime, st->last_finish[q]);
+    st->last_finish[q] = start + static_cast<double>(p.size) / st->weights[q];
+    return static_cast<std::int64_t>(start);
+  };
+  auto service = [st](std::int64_t r) {
+    // Monotone guard: approximate schedulers (SP-PIFO inversions, AIFO
+    // FIFO order) may serve a smaller start tag after a larger one; the
+    // virtual clock must never run backwards.
+    st->vtime = std::max(st->vtime, static_cast<double>(r));
+  };
+  return {std::move(rank), std::move(service)};
+}
+
+/// Strict-priority rank program: rank = queue index (queue 0 first).
+inline RankFn priority_rank_program() {
+  return [](const net::Packet&, std::size_t q, sim::Time) {
+    return static_cast<std::int64_t>(q);
+  };
+}
+
+}  // namespace tcn::sched

@@ -28,6 +28,7 @@ void FlowTraceSummary::on_event(const net::TraceRecord& rec) {
       break;
     case net::TraceEvent::kDrop:
     case net::TraceEvent::kFaultDrop:
+    case net::TraceEvent::kSchedDrop:
       ++s.drops;
       break;
     case net::TraceEvent::kDequeue:

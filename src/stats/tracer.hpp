@@ -45,9 +45,9 @@ class RecordingTracer final : public net::PortObserver {
   }
 
  private:
-  // One slot per TraceEvent enumerator (kEnqueue..kFaultDrop).
+  // One slot per TraceEvent enumerator (kEnqueue..kSchedDrop).
   static constexpr std::size_t kNumEvents =
-      static_cast<std::size_t>(net::TraceEvent::kFaultDrop) + 1;
+      static_cast<std::size_t>(net::TraceEvent::kSchedDrop) + 1;
 
   std::size_t max_;
   Filter filter_;

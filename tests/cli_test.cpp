@@ -46,9 +46,61 @@ TEST(Cli, SchemeAndSchedulerNames) {
   EXPECT_THROW(parse_scheme("wat"), std::invalid_argument);
   EXPECT_EQ(parse_sched("sp-wfq"), SchedKind::kSpWfq);
   EXPECT_EQ(parse_sched("pifo"), SchedKind::kPifoStfq);
+  EXPECT_EQ(parse_sched("sp-pifo"), SchedKind::kSpPifo);
+  EXPECT_EQ(parse_sched("aifo"), SchedKind::kAifo);
   EXPECT_THROW(parse_sched("wat"), std::invalid_argument);
   EXPECT_EQ(parse_workload("hadoop"), workload::Kind::kHadoop);
   EXPECT_THROW(parse_workload("wat"), std::invalid_argument);
+}
+
+TEST(Cli, SchedSpecParsesApproximateRankSchedulers) {
+  const auto sp_default = parse({"--sched", "sp-pifo"});
+  EXPECT_EQ(sp_default.sched.kind, SchedKind::kSpPifo);
+  EXPECT_EQ(sp_default.sched.sp_pifo_levels, 8u);
+  EXPECT_EQ(sp_default.sched.rank, RankProgram::kStfq);
+
+  const auto sp4 = parse({"--sched", "sp-pifo:4"});
+  EXPECT_EQ(sp4.sched.kind, SchedKind::kSpPifo);
+  EXPECT_EQ(sp4.sched.sp_pifo_levels, 4u);
+
+  const auto aifo_default = parse({"--sched", "aifo"});
+  EXPECT_EQ(aifo_default.sched.kind, SchedKind::kAifo);
+  EXPECT_EQ(aifo_default.sched.aifo_window, 128u);
+  EXPECT_DOUBLE_EQ(aifo_default.sched.aifo_k, 0.1);
+
+  const auto aifo = parse({"--sched", "aifo:64,0.2"});
+  EXPECT_EQ(aifo.sched.kind, SchedKind::kAifo);
+  EXPECT_EQ(aifo.sched.aifo_window, 64u);
+  EXPECT_DOUBLE_EQ(aifo.sched.aifo_k, 0.2);
+}
+
+TEST(Cli, SchedSpecRejectsMalformedParameters) {
+  // SP-PIFO: levels must parse and be >= 2.
+  EXPECT_THROW(parse({"--sched", "sp-pifo:1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "sp-pifo:0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "sp-pifo:x"}), std::invalid_argument);
+  // AIFO: needs both window and k, window >= 1, k in [0, 1).
+  EXPECT_THROW(parse({"--sched", "aifo:64"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "aifo:0,0.1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "aifo:64,1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "aifo:64,-0.1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "aifo:64,abc"}), std::invalid_argument);
+  // Non-parameterized schedulers take no parameters at all.
+  EXPECT_THROW(parse({"--sched", "dwrr:3"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sched", "pifo:2"}), std::invalid_argument);
+}
+
+TEST(Cli, PiasSwitchesRankSchedulersToPriorityProgram) {
+  // PIAS + rank scheduler: the rank program becomes the PIAS priority
+  // (rank = queue index) instead of upgrading to a hybrid SP front-end.
+  const auto sp = parse({"--sched", "sp-pifo", "--pias"});
+  EXPECT_EQ(sp.sched.kind, SchedKind::kSpPifo);
+  EXPECT_EQ(sp.sched.rank, RankProgram::kPriority);
+  EXPECT_EQ(sp.sched.num_sp, 1u);
+  const auto aifo = parse({"--sched", "aifo:32,0.05", "--pias"});
+  EXPECT_EQ(aifo.sched.kind, SchedKind::kAifo);
+  EXPECT_EQ(aifo.sched.rank, RankProgram::kPriority);
+  EXPECT_EQ(aifo.sched.aifo_window, 32u);
 }
 
 TEST(Cli, NumericFlags) {
@@ -117,6 +169,9 @@ TEST(Cli, UsageMentionsEveryFlag) {
         "--traffic-grid", "--time-limit-s"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+  // The --sched grammar advertises the parameterized rank schedulers.
+  EXPECT_NE(usage.find("sp-pifo[:levels]"), std::string::npos);
+  EXPECT_NE(usage.find("aifo[:window,k]"), std::string::npos);
 }
 
 TEST(Cli, BudgetFlags) {

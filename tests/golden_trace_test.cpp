@@ -73,7 +73,8 @@ struct Run {
   std::string metrics;
 };
 
-Run run_scenario() {
+Run run_scenario_with(const core::SchedConfig& sched_cfg,
+                      std::uint64_t buffer_bytes) {
   net::PacketUidScope uid_scope;
   net::PacketPool pool;
   net::PacketPool::Scope pool_scope(pool);
@@ -81,15 +82,11 @@ Run run_scenario() {
   obs::MetricsRegistry::Scope metrics_scope(registry);
 
   sim::Simulator sim;
-  core::SchedConfig sched_cfg;
-  sched_cfg.kind = core::SchedKind::kSpDwrr;
-  sched_cfg.num_queues = 3;
-  sched_cfg.num_sp = 1;
 
   net::PortConfig cfg;
   cfg.rate_bps = 1'000'000'000;
   cfg.num_queues = 3;
-  cfg.buffer_bytes = 9'000;
+  cfg.buffer_bytes = buffer_bytes;
 
   net::Port port(sim, "sw0.p0", cfg, core::make_scheduler_factory(sched_cfg)(),
                  std::make_unique<aqm::TcnMarker>(20 * sim::kMicrosecond));
@@ -131,12 +128,59 @@ Run run_scenario() {
   return r;
 }
 
+Run run_scenario() {
+  core::SchedConfig sched_cfg;
+  sched_cfg.kind = core::SchedKind::kSpDwrr;
+  sched_cfg.num_queues = 3;
+  sched_cfg.num_sp = 1;
+  return run_scenario_with(sched_cfg, 9'000);
+}
+
+/// Same arrival script through the 4-level SP-PIFO with the STFQ rank
+/// program: the approximation's push-up/push-down walk is pinned byte for
+/// byte alongside the exact schedulers.
+Run run_sp_pifo_scenario() {
+  core::SchedConfig sched_cfg;
+  sched_cfg.kind = core::SchedKind::kSpPifo;
+  sched_cfg.num_queues = 3;
+  sched_cfg.sp_pifo_levels = 4;
+  return run_scenario_with(sched_cfg, 9'000);
+}
+
+/// Same arrival script through AIFO with a 4-sample window, k = 0 and a
+/// 6KB buffer: tight enough that the quantile gate rejects mid-burst, so
+/// the golden pins the "sdrop" trace event and the drops.sched counter.
+Run run_aifo_scenario() {
+  core::SchedConfig sched_cfg;
+  sched_cfg.kind = core::SchedKind::kAifo;
+  sched_cfg.num_queues = 3;
+  sched_cfg.aifo_window = 4;
+  sched_cfg.aifo_k = 0.0;
+  return run_scenario_with(sched_cfg, 6'000);
+}
+
 TEST(GoldenTrace, SpDwrrScenarioTraceBytes) {
   compare_or_update("trace_sp_dwrr.jsonl", run_scenario().trace);
 }
 
 TEST(GoldenTrace, SpDwrrScenarioMetricsBytes) {
   compare_or_update("metrics_sp_dwrr.json", run_scenario().metrics);
+}
+
+TEST(GoldenTrace, SpPifoScenarioTraceBytes) {
+  compare_or_update("trace_sp_pifo.jsonl", run_sp_pifo_scenario().trace);
+}
+
+TEST(GoldenTrace, SpPifoScenarioMetricsBytes) {
+  compare_or_update("metrics_sp_pifo.json", run_sp_pifo_scenario().metrics);
+}
+
+TEST(GoldenTrace, AifoScenarioTraceBytes) {
+  compare_or_update("trace_aifo.jsonl", run_aifo_scenario().trace);
+}
+
+TEST(GoldenTrace, AifoScenarioMetricsBytes) {
+  compare_or_update("metrics_aifo.json", run_aifo_scenario().metrics);
 }
 
 TEST(GoldenTrace, ScenarioIsSelfConsistent) {
@@ -150,6 +194,19 @@ TEST(GoldenTrace, ScenarioIsSelfConsistent) {
   EXPECT_NE(r.trace.find("\"ev\":\"deq\""), std::string::npos);
   // Two runs of the same scenario are byte-identical (determinism).
   const auto again = run_scenario();
+  EXPECT_EQ(r.trace, again.trace);
+  EXPECT_EQ(r.metrics, again.metrics);
+}
+
+TEST(GoldenTrace, AifoScenarioIsSelfConsistent) {
+  // The AIFO golden must actually exercise the admission gate: at least
+  // one "sdrop" in the trace, a nonzero drops.sched counter, and the run
+  // stays deterministic.
+  const auto r = run_aifo_scenario();
+  EXPECT_NE(r.trace.find("\"ev\":\"sdrop\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"ev\":\"deq\""), std::string::npos);
+  EXPECT_NE(r.metrics.find("drops.sched"), std::string::npos);
+  const auto again = run_aifo_scenario();
   EXPECT_EQ(r.trace, again.trace);
   EXPECT_EQ(r.metrics, again.metrics);
 }

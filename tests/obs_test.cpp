@@ -326,6 +326,12 @@ const GridCase kGrid[] = {
      core::Scheme::kRedDequeue, MarkSide::kDequeue},
     {"pifo+tcn-prob", core::SchedKind::kPifoStfq, core::Scheme::kTcnProb,
      MarkSide::kDequeue},
+    // Approximate rank schedulers: the marker must stay oblivious to both
+    // the SP-PIFO level adaptation and the AIFO admission gate.
+    {"sp-pifo+tcn", core::SchedKind::kSpPifo, core::Scheme::kTcn,
+     MarkSide::kDequeue},
+    {"aifo+red-port", core::SchedKind::kAifo, core::Scheme::kRedPerPort,
+     MarkSide::kEnqueue},
 };
 
 core::FctExperiment grid_config(const GridCase& c) {
@@ -431,6 +437,48 @@ TEST(ObsProperties, PortAccountingHoldsAcrossSchedulersAndAqms) {
     }
     EXPECT_TRUE(saw_aqm);
     EXPECT_EQ(aqm_marks, total_marks);
+  }
+}
+
+TEST(ObsProperties, AifoSchedDropsAreDistinctFromBufferDrops) {
+  // AIFO admission rejections are SCHEDULING drops: they land on the
+  // drops.sched counter and FctReport::sched_drops, never on drops.buffer
+  // (shared-buffer congestion) or the per-queue drop attribution, and the
+  // marker never evaluates a rejected packet.
+  auto cfg = grid_config(kGrid[0]);
+  cfg.sched.kind = core::SchedKind::kAifo;
+  cfg.sched.aifo_window = 16;
+  cfg.sched.aifo_k = 0.0;           // strictest admission: headroom >= quantile
+  cfg.star.buffer_bytes = 12'000;   // tight buffer so the gate engages
+  cfg.load = 0.9;
+  const auto report = core::run_fct_experiment(cfg);
+  ASSERT_TRUE(report.metrics_collected);
+  ASSERT_GT(report.sched_drops, 0u);
+  const Indexed m(report.metrics);
+
+  // Only switch ports run AIFO; host NICs ("port.<host>.nic") are plain
+  // drop-tail FIFOs whose buffer drops are NOT in FctReport::switch_drops.
+  std::uint64_t sched_total = 0;
+  std::uint64_t buffer_total = 0;
+  std::uint64_t q_drops = 0;
+  for (const auto& [name, v] : m.counters) {
+    if (name.rfind("port.sw", 0) != 0) continue;
+    if (ends_with(name, ".drops.sched")) sched_total += v;
+    if (ends_with(name, ".drops.buffer")) buffer_total += v;
+    if (ends_with(name, ".drop_packets")) q_drops += v;
+  }
+  // The metric rollup matches the report's own aggregation on both axes,
+  // and the buffer attribution is untouched by the admission gate.
+  EXPECT_EQ(sched_total, report.sched_drops);
+  EXPECT_EQ(buffer_total, report.switch_drops);
+  EXPECT_EQ(buffer_total, q_drops);
+
+  // Admitted packets still balance: enq counts only admitted arrivals and
+  // the run drains, so every enqueue dequeues even while the gate rejects.
+  for (const auto& [name, enq] : m.counters) {
+    if (!ends_with(name, ".enq_packets")) continue;
+    const auto prefix = name.substr(0, name.size() - 12);
+    EXPECT_EQ(enq, m.counter(prefix + ".deq_packets")) << prefix;
   }
 }
 

@@ -548,7 +548,7 @@ TEST(Results, JsonMatchesSchemaGolden) {
       "p99_small_us", "large_count", "avg_large_us", "timeouts",
       "small_timeouts",
       "counters", "switch_drops", "switch_marks", "fault_drops",
-      "pool_fresh", "pool_reused", "pool_recycled",
+      "sched_drops", "pool_fresh", "pool_reused", "pool_recycled",
       "sim_peak_pending", "sim_calendar_resizes",
       "flows_started", "flows_completed", "events", "sim_end_s", "wall_ms",
       "events_per_sec"};

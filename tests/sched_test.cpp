@@ -1,20 +1,25 @@
 // Scheduler tests: strict priority, DWRR quantum fairness and round-time
-// tracking, WFQ weighted fairness, SP hybrids, PIFO programs, plus
-// property-style sweeps (work conservation, proportional sharing) over
-// random arrival patterns.
+// tracking, WFQ weighted fairness, SP hybrids, PIFO programs, the SP-PIFO
+// and AIFO approximations, plus property-style sweeps (work conservation,
+// proportional sharing) over random arrival patterns and a randomized
+// differential harness (true PIFO vs SP-PIFO vs AIFO on identical seeded
+// streams, rank inversions counted at every departure).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <numeric>
+#include <set>
 #include <vector>
 
 #include "net/fifo_scheduler.hpp"
 #include "net/marker.hpp"
 #include "net/port.hpp"
+#include "sched/aifo.hpp"
 #include "sched/dwrr.hpp"
 #include "sched/pifo.hpp"
 #include "sched/sp.hpp"
 #include "sched/sp_hybrid.hpp"
+#include "sched/sp_pifo.hpp"
 #include "sched/wfq.hpp"
 #include "sched/wrr.hpp"
 #include "sim/random.hpp"
@@ -299,6 +304,331 @@ TEST(PifoScheduler, StfqProgramApproximatesFairness) {
   EXPECT_NEAR(q0, 20, 2);
 }
 
+TEST(SpPifoScheduler, PriorityProgramActsAsStrictPriority) {
+  Rig rig(std::make_unique<SpPifoScheduler>(8, priority_rank_program()), 2);
+  for (int i = 0; i < 5; ++i) rig.port->enqueue(make_test_packet(1500, 1, 1), 1);
+  rig.port->enqueue(make_test_packet(1500, 0, 0), 0);
+  rig.sim.run();
+  EXPECT_EQ(rig.sink.packets[1]->flow, 0u);
+}
+
+TEST(SpPifoScheduler, PushUpAndPushDownTrackRanks) {
+  // Feed ranks directly. 10 lands at the bottom (push-up to 10); each
+  // successively smaller rank climbs one level as the lower bounds block it;
+  // rank 1 raises bounds_[0] to 1; then rank 0 undercuts even the top bound
+  // -> the paper's adaptation: every bound drops by the miss cost and the
+  // packet is admitted at level 0.
+  std::vector<std::int64_t> ranks = {10, 5, 3, 1, 0};
+  std::size_t i = 0;
+  auto sched = std::make_unique<SpPifoScheduler>(
+      4, [&](const net::Packet&, std::size_t, sim::Time) {
+        return ranks[i++];
+      });
+  auto* raw = sched.get();
+  Rig rig(std::move(sched), 1);
+  rig.port->enqueue(make_test_packet(100, 0, 0), 0);  // rank 10 -> level 3
+  EXPECT_EQ(raw->last_level(), 3u);
+  EXPECT_EQ(raw->bound(3), 10);
+  rig.port->enqueue(make_test_packet(100, 0, 1), 0);  // rank 5 -> level 2
+  EXPECT_EQ(raw->last_level(), 2u);
+  rig.port->enqueue(make_test_packet(100, 0, 2), 0);  // rank 3 -> level 1
+  rig.port->enqueue(make_test_packet(100, 0, 3), 0);  // rank 1 -> level 0
+  EXPECT_EQ(raw->last_level(), 0u);
+  EXPECT_EQ(raw->bound(0), 1);
+  EXPECT_EQ(raw->push_downs(), 0u);
+  rig.port->enqueue(make_test_packet(100, 0, 4), 0);  // rank 0: push-down
+  EXPECT_EQ(raw->push_downs(), 1u);
+  EXPECT_EQ(raw->last_level(), 0u);
+  // The adaptation slides the whole ladder by the miss cost (1), landing
+  // bounds_[0] exactly on the new rank; the ladder stays monotone.
+  EXPECT_EQ(raw->bound(0), 0);
+  for (std::size_t l = 1; l < raw->levels(); ++l) {
+    EXPECT_LE(raw->bound(l - 1), raw->bound(l)) << "level " << l;
+  }
+  rig.sim.run();
+}
+
+TEST(SpPifoScheduler, BottomUpScanLandsAtFirstClearedBound) {
+  // Equal high ranks pile into the bottom level (its bound always clears);
+  // a much smaller rank then climbs past the raised bound to the first
+  // level still at its initial bound -- a plain hit, not a push-down.
+  std::vector<std::int64_t> ranks = {100, 100, 100, 100, 1};
+  std::size_t i = 0;
+  auto sched = std::make_unique<SpPifoScheduler>(
+      4, [&](const net::Packet&, std::size_t, sim::Time) {
+        return ranks[i++];
+      });
+  auto* raw = sched.get();
+  Rig rig(std::move(sched), 1);
+  for (int k = 0; k < 4; ++k) {
+    rig.port->enqueue(make_test_packet(100, 0, k), 0);
+    EXPECT_EQ(raw->last_level(), 3u);
+  }
+  EXPECT_EQ(raw->bound(3), 100);
+  const std::uint64_t before = raw->push_downs();
+  rig.port->enqueue(make_test_packet(100, 0, 4), 0);  // rank 1 -> level 2
+  EXPECT_EQ(raw->push_downs(), before);
+  EXPECT_EQ(raw->last_level(), 2u);
+  rig.sim.run();
+}
+
+TEST(SpPifoScheduler, RejectsBadConfig) {
+  EXPECT_THROW(SpPifoScheduler(1, priority_rank_program()),
+               std::invalid_argument);
+  EXPECT_THROW(SpPifoScheduler(8, sched::RankProgram{}),
+               std::invalid_argument);
+}
+
+TEST(AifoScheduler, DequeuesInGlobalFifoOrder) {
+  // Interleave enqueues across 3 queues; AIFO must deliver in arrival order
+  // regardless of which physical queue a packet was classified into.
+  Rig rig(std::make_unique<AifoScheduler>(16, 0.1, stfq_rank_program({1, 1, 1})),
+          3);
+  std::vector<std::uint64_t> arrival_order;
+  sim::Rng rng(7);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const auto q = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    arrival_order.push_back(i);
+    rig.port->enqueue(make_test_packet(1000, static_cast<std::uint8_t>(q), i),
+                      q);
+  }
+  rig.sim.run();
+  ASSERT_EQ(rig.sink.packets.size(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(rig.sink.packets[i]->flow, arrival_order[i]) << "position " << i;
+  }
+}
+
+TEST(AifoScheduler, AdmissionIsMonotoneInRankAndOccupancy) {
+  // Populate the window with a known rank spread, then probe the admission
+  // predicate directly: admit must never flip to reject as the rank drops
+  // or as the buffer empties.
+  std::int64_t next_rank = 0;
+  AifoScheduler s(32, 0.1,
+                  [&](const net::Packet&, std::size_t, sim::Time) {
+                    return next_rank;
+                  });
+  const auto pkt = make_test_packet(1000);
+  for (std::int64_t r = 0; r < 32; ++r) {
+    next_rank = r;
+    s.admit(0, *pkt, 0, 0, UINT64_MAX);  // unlimited: always admitted
+  }
+  EXPECT_EQ(s.admitted(), 32u);
+  EXPECT_EQ(s.rejected(), 0u);
+  const std::uint64_t capacity = 10'000;
+  for (std::uint64_t occ = 0; occ <= capacity; occ += 500) {
+    bool prev = true;
+    for (std::int64_t r = 0; r < 40; ++r) {
+      const bool now = s.would_admit(r, occ, capacity);
+      if (!prev) {
+        EXPECT_FALSE(now) << "admit flipped back on at rank " << r
+                          << " occ " << occ;
+      }
+      prev = now;
+    }
+  }
+  for (std::int64_t r = 0; r < 40; ++r) {
+    bool prev = s.would_admit(r, 0, capacity);
+    EXPECT_TRUE(prev) << "empty buffer must admit rank " << r;
+    for (std::uint64_t occ = 0; occ <= capacity; occ += 500) {
+      const bool now = s.would_admit(r, occ, capacity);
+      if (!now) prev = false;
+      if (!prev) {
+        EXPECT_FALSE(now) << "admit flipped back on at occ " << occ
+                          << " rank " << r;
+      }
+    }
+  }
+  // Low ranks survive pressure longer than high ranks.
+  EXPECT_TRUE(s.would_admit(0, capacity - 1'000, capacity));
+  EXPECT_FALSE(s.would_admit(100, capacity - 1'000, capacity));
+}
+
+TEST(AifoScheduler, RejectsUnderPressureAndCountsSchedDrops) {
+  // Tight shared buffer: packets with high STFQ ranks arriving into a nearly
+  // full port are rejected by AIFO (sched_drops), not tail-dropped by the
+  // buffer, and the marker/AQM never sees them.
+  Rig rig(std::make_unique<AifoScheduler>(16, 0.0, stfq_rank_program({1, 1})),
+          2);
+  rig.port->set_buffer_limit(4'000);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    rig.port->enqueue(
+        make_test_packet(1000, static_cast<std::uint8_t>(i % 2), i), i % 2);
+  }
+  rig.sim.run();
+  const auto& c = rig.port->counters();
+  EXPECT_GT(c.sched_drops, 0u);
+  EXPECT_EQ(c.enq_packets + c.sched_drops + c.drops, 40u);
+  EXPECT_EQ(c.sched_drop_bytes, c.sched_drops * 1'000u);
+  // Ledger: admitted bytes all delivered (frozen clock drains everything).
+  EXPECT_EQ(c.enq_bytes, c.tx_bytes);
+  EXPECT_EQ(rig.sink.packets.size(), c.enq_packets);
+}
+
+TEST(AifoScheduler, RejectsBadConfig) {
+  EXPECT_THROW(AifoScheduler(0, 0.1, priority_rank_program()),
+               std::invalid_argument);
+  EXPECT_THROW(AifoScheduler(8, 1.0, priority_rank_program()),
+               std::invalid_argument);
+  EXPECT_THROW(AifoScheduler(8, -0.1, priority_rank_program()),
+               std::invalid_argument);
+  EXPECT_THROW(AifoScheduler(8, 0.1, sched::RankProgram{}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: identical seeded arrival streams through true PIFO,
+// SP-PIFO and AIFO. Ranks are precomputed per arrival and monotone within
+// each queue (the head-packet compromise's exactness precondition), so the
+// true PIFO is the zero-inversion reference; SP-PIFO must approximate it
+// (strictly fewer inversions than not scheduling at all = AIFO's global
+// FIFO), and AIFO must depart in exact arrival order.
+// ---------------------------------------------------------------------------
+
+struct DiffStream {
+  std::vector<sim::Time> times;        // strictly increasing
+  std::vector<std::size_t> queues;     // classified physical queue
+  std::vector<std::uint32_t> sizes;
+  std::vector<std::int64_t> ranks;     // per arrival, monotone per queue
+};
+
+DiffStream make_diff_stream(std::uint64_t seed, std::size_t n,
+                            std::size_t nq) {
+  DiffStream s;
+  sim::Rng rng(seed);
+  sim::Time t = 0;
+  std::vector<std::int64_t> next_rank(nq, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<sim::Time>(rng.uniform_int(1, 12'000));  // ns gaps
+    s.times.push_back(t);
+    const auto q = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::uint64_t>(nq - 1)));
+    s.queues.push_back(q);
+    s.sizes.push_back(static_cast<std::uint32_t>(rng.uniform_int(100, 1500)));
+    // Per-queue monotone ranks that interleave arbitrarily across queues.
+    next_rank[q] += static_cast<std::int64_t>(rng.uniform_int(0, 50));
+    s.ranks.push_back(next_rank[q]);
+  }
+  return s;
+}
+
+/// Counts rank inversions the SP-PIFO way: a departure is an inversion when
+/// some packet with a strictly smaller rank is still buffered behind it.
+struct InversionCounter final : net::PortObserver {
+  explicit InversionCounter(const std::vector<std::int64_t>& ranks)
+      : ranks_(ranks) {}
+  void on_event(const net::TraceRecord& rec) override {
+    const std::int64_t r = ranks_[rec.flow];
+    if (rec.event == net::TraceEvent::kEnqueue) {
+      buffered_.insert(r);
+    } else if (rec.event == net::TraceEvent::kDequeue) {
+      buffered_.erase(buffered_.find(r));
+      if (!buffered_.empty() && *buffered_.begin() < r) ++inversions;
+    }
+  }
+  const std::vector<std::int64_t>& ranks_;
+  std::multiset<std::int64_t> buffered_;
+  std::uint64_t inversions = 0;
+};
+
+struct DiffResult {
+  std::uint64_t inversions = 0;
+  std::vector<std::uint64_t> departures;  // flow ids (= arrival index)
+  std::uint64_t delivered_bytes = 0;
+};
+
+DiffResult run_diff(const DiffStream& s, std::size_t nq,
+                    std::unique_ptr<net::Scheduler> sched) {
+  Rig rig(std::move(sched), nq);
+  InversionCounter counter(s.ranks);
+  rig.port->set_observer(&counter);
+  for (std::size_t i = 0; i < s.times.size(); ++i) {
+    rig.sim.schedule_at(s.times[i], [&rig, &s, i] {
+      rig.port->enqueue(make_test_packet(s.sizes[i], 0, i), s.queues[i]);
+    });
+  }
+  rig.sim.run();
+  DiffResult r;
+  r.inversions = counter.inversions;
+  for (const auto& p : rig.sink.packets) {
+    r.departures.push_back(p->flow);
+    r.delivered_bytes += p->size;
+  }
+  rig.port->set_observer(nullptr);
+  return r;
+}
+
+TEST(SchedulerDifferential, PifoExactSpPifoBoundedAifoFifo) {
+  const std::size_t nq = 4;
+  std::uint64_t sp_pifo_total = 0, fifo_total = 0;
+  for (const std::uint64_t seed : {11u, 23u, 37u, 59u, 71u}) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    const DiffStream s = make_diff_stream(seed, 300, nq);
+    auto rank_fn = [&s](const net::Packet& p, std::size_t, sim::Time) {
+      return s.ranks[p.flow];
+    };
+
+    const DiffResult pifo =
+        run_diff(s, nq, std::make_unique<PifoScheduler>(rank_fn));
+    const DiffResult sp_pifo =
+        run_diff(s, nq, std::make_unique<SpPifoScheduler>(8, rank_fn));
+    const DiffResult aifo =
+        run_diff(s, nq, std::make_unique<AifoScheduler>(128, 0.1, rank_fn));
+
+    // Same stream, no drops (unlimited buffer): byte totals agree.
+    EXPECT_EQ(pifo.delivered_bytes, sp_pifo.delivered_bytes);
+    EXPECT_EQ(pifo.delivered_bytes, aifo.delivered_bytes);
+    EXPECT_EQ(pifo.departures.size(), s.times.size());
+
+    // True PIFO with per-queue monotone ranks never inverts.
+    EXPECT_EQ(pifo.inversions, 0u);
+
+    // AIFO departs in exact arrival order -- its inversion count is the
+    // "no scheduling" baseline for this stream.
+    for (std::size_t i = 0; i < aifo.departures.size(); ++i) {
+      ASSERT_EQ(aifo.departures[i], i) << "AIFO broke FIFO at position " << i;
+    }
+
+    // SP-PIFO approximates the PIFO: never worse than FIFO order.
+    EXPECT_LE(sp_pifo.inversions, aifo.inversions);
+    sp_pifo_total += sp_pifo.inversions;
+    fifo_total += aifo.inversions;
+
+    // Determinism: an identical re-run reproduces the departure sequence
+    // and the inversion count exactly.
+    const DiffResult again =
+        run_diff(s, nq, std::make_unique<SpPifoScheduler>(8, rank_fn));
+    EXPECT_EQ(again.inversions, sp_pifo.inversions);
+    EXPECT_EQ(again.departures, sp_pifo.departures);
+  }
+  // Across the seeds the approximation must beat FIFO strictly: scheduling
+  // happened. (FIFO baseline is nonzero for these streams by construction.)
+  EXPECT_GT(fifo_total, 0u);
+  EXPECT_LT(sp_pifo_total, fifo_total);
+}
+
+TEST(SchedulerDifferential, SpPifoMoreLevelsNeverHurtMuch) {
+  // Sanity on the approximation knob: with as many levels as distinct rank
+  // regimes, inversions shrink toward the PIFO's zero. Compare 2 vs 8
+  // levels aggregated over seeds -- deterministic, so a stable regression
+  // guard rather than a statistical claim.
+  const std::size_t nq = 4;
+  std::uint64_t two_total = 0, eight_total = 0;
+  for (const std::uint64_t seed : {5u, 13u, 29u}) {
+    const DiffStream s = make_diff_stream(seed, 300, nq);
+    auto rank_fn = [&s](const net::Packet& p, std::size_t, sim::Time) {
+      return s.ranks[p.flow];
+    };
+    two_total +=
+        run_diff(s, nq, std::make_unique<SpPifoScheduler>(2, rank_fn))
+            .inversions;
+    eight_total +=
+        run_diff(s, nq, std::make_unique<SpPifoScheduler>(8, rank_fn))
+            .inversions;
+  }
+  EXPECT_LE(eight_total, two_total);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweeps: random arrivals, invariants that must hold for any
 // work-conserving fair scheduler.
@@ -382,6 +712,17 @@ INSTANTIATE_TEST_SUITE_P(
                     return std::make_unique<PifoScheduler>(
                         PifoScheduler::stfq_program(
                             std::vector<double>(nq, 1.0)));
+                  }},
+        SchedCase{"sp_pifo_stfq",
+                  [](std::size_t nq) {
+                    return std::make_unique<SpPifoScheduler>(
+                        8, stfq_rank_program(std::vector<double>(nq, 1.0)));
+                  }},
+        SchedCase{"aifo_stfq",
+                  [](std::size_t nq) {
+                    return std::make_unique<AifoScheduler>(
+                        128, 0.1,
+                        stfq_rank_program(std::vector<double>(nq, 1.0)));
                   }}),
     [](const ::testing::TestParamInfo<SchedCase>& info) {
       return info.param.name;
